@@ -1,0 +1,140 @@
+// Command fleasim runs a single program on a single machine model and
+// prints its statistics. The program is either a named suite benchmark
+// (-bench), a seeded random program (-random), or an assembly file.
+//
+// Usage:
+//
+//	fleasim [-model base|2P|2Pre|runahead] [-verify] [-sched]
+//	        [-feedback N] [-cq N] [-alat N] [-throttle N] [-anticipable]
+//	        (-bench NAME | -random SEED | FILE.s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fleaflicker/internal/core"
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/program"
+	"fleaflicker/internal/sched"
+	"fleaflicker/internal/stats"
+	"fleaflicker/internal/workload"
+)
+
+func main() {
+	var (
+		modelName    = flag.String("model", "2P", "machine model: base, 2P, 2Pre, runahead")
+		benchName    = flag.String("bench", "", "run a named suite benchmark")
+		randomSeed   = flag.Int64("random", -1, "run a generated random program with this seed")
+		verify       = flag.Bool("verify", false, "check final state against the reference executor")
+		doSched      = flag.Bool("sched", false, "re-schedule the input program before running (files only)")
+		feedback     = flag.Int("feedback", 0, "two-pass B->A feedback latency (-1 disables)")
+		cqSize       = flag.Int("cq", 64, "two-pass coupling queue size")
+		alatCap      = flag.Int("alat", 0, "two-pass ALAT capacity (0 = perfect)")
+		throttle     = flag.Int("throttle", 0, "two-pass deferral throttle (0 = off)")
+		anticipable  = flag.Bool("anticipable", false, "two-pass: stall on anticipable non-load latencies")
+		checkpoint   = flag.Bool("checkpoint", false, "two-pass: checkpointed A-file branch recovery (§3.6)")
+		sbSize       = flag.Int("sb", 0, "two-pass: speculative store buffer capacity (0 = unbounded)")
+		conflictPred = flag.Bool("conflictpred", false, "two-pass: store-wait conflict predictor (§3.4)")
+	)
+	flag.Parse()
+
+	var model core.Model
+	switch *modelName {
+	case "base":
+		model = core.Baseline
+	case "2P":
+		model = core.TwoPass
+	case "2Pre":
+		model = core.TwoPassRegroup
+	case "runahead":
+		model = core.Runahead
+	default:
+		fatal(fmt.Errorf("unknown model %q", *modelName))
+	}
+
+	prog, err := loadProgram(*benchName, *randomSeed, flag.Args(), *doSched)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.FeedbackLatency = *feedback
+	cfg.CQSize = *cqSize
+	cfg.ALATCapacity = *alatCap
+	cfg.DeferThrottle = *throttle
+	cfg.StallOnAnticipable = *anticipable
+	cfg.CheckpointRepair = *checkpoint
+	cfg.SBSize = *sbSize
+	cfg.ConflictPredictor = *conflictPred
+
+	run := core.Run
+	if *verify {
+		run = core.RunVerified
+	}
+	r, err := run(model, cfg, prog)
+	if err != nil {
+		fatal(err)
+	}
+	report(r)
+	if *verify {
+		fmt.Println("verified: architectural state matches the reference executor")
+	}
+}
+
+func loadProgram(bench string, seed int64, args []string, reschedule bool) (*program.Program, error) {
+	switch {
+	case bench != "":
+		b, err := workload.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		return b.Program(), nil
+	case seed >= 0:
+		return workload.Random(seed, workload.DefaultRandomConfig()), nil
+	case len(args) == 1:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return nil, err
+		}
+		p, err := program.Assemble(args[0], string(src))
+		if err != nil {
+			return nil, err
+		}
+		if reschedule {
+			p, _, err = sched.Schedule(p, sched.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("need -bench NAME, -random SEED, or one assembly file (have %d args)", len(args))
+	}
+}
+
+func report(r *stats.Run) {
+	fmt.Printf("program    %s\nmodel      %s\n", r.Benchmark, r.Model)
+	fmt.Printf("cycles     %d\ninstructions %d\nIPC        %.3f\n", r.Cycles, r.Instructions, r.IPC())
+	fmt.Println("cycle classes:")
+	for c := stats.CycleClass(0); c < stats.NumCycleClasses; c++ {
+		fmt.Printf("  %-22s %12d  (%5.1f%%)\n", c, r.ByClass[c], 100*float64(r.ByClass[c])/float64(r.Cycles))
+	}
+	fmt.Println("data accesses (count/pipe):")
+	for lvl := mem.Level(0); lvl < mem.NumLevels; lvl++ {
+		fmt.Printf("  %-4s A=%-9d B=%-9d\n", lvl, r.Access[lvl][stats.PipeA], r.Access[lvl][stats.PipeB])
+	}
+	fmt.Printf("deferred   %d\npre-executed %d\n", r.Deferred, r.PreExecuted)
+	fmt.Printf("mispredicts A=%d B=%d\nconflict flushes %d\n", r.MispredictsA, r.MispredictsB, r.ConflictFlushes)
+	fmt.Printf("stores     total=%d deferred=%d\n", r.StoresTotal, r.StoresDeferred)
+	if r.Cycles > 0 {
+		fmt.Printf("mean CQ occupancy %.1f\n", float64(r.CQOccupancySum)/float64(r.Cycles))
+	}
+	fmt.Printf("regrouped stop bits %d\n", r.Regrouped)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleasim:", err)
+	os.Exit(1)
+}

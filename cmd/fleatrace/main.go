@@ -1,0 +1,121 @@
+// Command fleatrace prints a per-cycle, two-pipe execution trace of a
+// program on the two-pass machine — the Figure 4 view: what the A-pipe
+// dispatched (executed or deferred), what the B-pipe retired or stalled on,
+// and every flush.
+//
+// Usage:
+//
+//	fleatrace [-bench NAME | -random SEED | FILE.s] [-from N] [-cycles N] [-regroup]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fleaflicker/internal/core"
+	"fleaflicker/internal/pipeline"
+	"fleaflicker/internal/program"
+	"fleaflicker/internal/stats"
+	"fleaflicker/internal/twopass"
+	"fleaflicker/internal/workload"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "", "trace a named suite benchmark")
+		randomSeed = flag.Int64("random", -1, "trace a generated random program")
+		from       = flag.Int64("from", 0, "first cycle to print")
+		cycles     = flag.Int64("cycles", 200, "number of cycles to print")
+		regroup    = flag.Bool("regroup", false, "enable B-pipe instruction regrouping (2Pre)")
+		dump       = flag.Bool("dump", false, "print the program listing before tracing")
+	)
+	flag.Parse()
+
+	prog, err := loadProgram(*benchName, *randomSeed, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		fmt.Println(prog.Dump())
+	}
+
+	cfg := core.DefaultConfig().TwoPassConfig(*regroup)
+	m, err := twopass.New(cfg, prog)
+	if err != nil {
+		fatal(err)
+	}
+	to := *from + *cycles
+	inWindow := func(now int64) bool { return now >= *from && now < to }
+	m.OnADispatch = func(now int64, d *pipeline.DynInst) {
+		if !inWindow(now) {
+			return
+		}
+		state := "exec "
+		switch {
+		case d.Deferred:
+			state = "DEFER"
+		case d.In.Op.IsLoad() && d.Done:
+			state = fmt.Sprintf("load@%s", d.Level)
+		}
+		fmt.Printf("%8d  A  %-6s #%-6d pc=%-5d %s\n", now, state, d.ID, d.PC, d.In)
+	}
+	m.OnBRetire = func(now int64, d *pipeline.DynInst) {
+		if !inWindow(now) {
+			return
+		}
+		state := "merge"
+		if d.Deferred {
+			state = "exec "
+		}
+		fmt.Printf("%8d    B   %-6s #%-6d pc=%-5d %s\n", now, state, d.ID, d.PC, d.In)
+	}
+	lastBlocked := int64(-1)
+	m.OnBBlocked = func(now int64, cls stats.CycleClass) {
+		if !inWindow(now) {
+			return
+		}
+		// Summarize contiguous stall runs instead of one line per cycle.
+		if lastBlocked != now-1 {
+			fmt.Printf("%8d    B   stall (%s)\n", now, cls)
+		}
+		lastBlocked = now
+	}
+	m.OnFlush = func(now int64, from uint64, redirect int32) {
+		if !inWindow(now) {
+			return
+		}
+		fmt.Printf("%8d    B   FLUSH from #%d, refetch pc=%d\n", now, from, redirect)
+	}
+	r, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ntotal: %d cycles, %d instructions, IPC %.3f\n", r.Cycles, r.Instructions, r.IPC())
+}
+
+func loadProgram(bench string, seed int64, args []string) (*program.Program, error) {
+	switch {
+	case bench != "":
+		b, err := workload.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		return b.Program(), nil
+	case seed >= 0:
+		return workload.Random(seed, workload.DefaultRandomConfig()), nil
+	case len(args) == 1:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return program.Assemble(args[0], string(src))
+	default:
+		return nil, fmt.Errorf("need -bench NAME, -random SEED, or one assembly file")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleatrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Quickstart: assemble a small EPIC program, run it on the baseline in-order
+// machine and on the flea-flicker two-pass machine, and compare where the
+// cycles went.
+//
+// The kernel is the paper's Figure 1 scenario in miniature: two independent
+// streams of cache misses, with each load's consumer scheduled right behind
+// it (the compiler assumed a cache hit). On the baseline, the first miss
+// stalls its whole issue group — and the second stream's load, which is
+// dataflow-independent, is trapped behind that stall ("artificial
+// dependences"), so the two misses serialize. The two-pass machine defers
+// only the stalled consumers into the B-pipe; the A-pipe keeps going and
+// starts the second miss immediately, overlapping the latencies. (With
+// nothing serial anywhere, this is the textbook best case: the two-pass
+// machine runs as deep as its queue and miss slots allow.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fleaflicker/internal/core"
+	"fleaflicker/internal/program"
+	"fleaflicker/internal/stats"
+)
+
+const src = `
+        movi r5 = 0x10000000      // stream A cursor
+        movi r6 = 0x14000000      // stream B cursor
+        movi r9 = 400             // iterations
+        movi r20 = 0
+        movi r21 = 0 ;;
+loop:   ld4 r3 = [r5] ;;          // stream A: misses (4KB stride)
+        add r20 = r20, r3 ;;      // consumer scheduled for a hit; stalls base
+        ld4 r4 = [r6] ;;          // stream B: independent, but trapped in base
+        add r21 = r21, r4 ;;
+        addi r5 = r5, 4096
+        addi r6 = r6, 4096
+        addi r9 = r9, -1 ;;
+        cmpi.ne p1 = r9, 0 ;;
+        (p1) br loop ;;
+        movi r1 = 0x18000000 ;;
+        st4 [r1] = r20
+        st4 [r1, 4] = r21 ;;
+        halt ;;
+`
+
+func main() {
+	p, err := program.Assemble("quickstart", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		p.Data.WriteU32(uint32(0x10000000+i*4096), uint32(i))
+		p.Data.WriteU32(uint32(0x14000000+i*4096), uint32(i*7))
+	}
+
+	cfg := core.DefaultConfig()
+	var baseCycles int64
+	for _, model := range []core.Model{core.Baseline, core.TwoPass, core.TwoPassRegroup} {
+		r, err := core.RunVerified(model, cfg, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if model == core.Baseline {
+			baseCycles = r.Cycles
+		}
+		fmt.Printf("%-5s %8d cycles  (%.2fx)  IPC %.3f  load-stall %5.1f%%  deferred %d\n",
+			model, r.Cycles, float64(baseCycles)/float64(r.Cycles), r.IPC(),
+			100*float64(r.ByClass[stats.LoadStall])/float64(r.Cycles),
+			r.Deferred)
+	}
+	fmt.Println("\nEvery run is verified against the functional reference executor.")
+}

@@ -1,0 +1,44 @@
+// Regroup demonstrates B-pipe instruction regrouping (the 2Pre
+// configuration): after A-pipe pre-execution, the stop bits between
+// adjacent issue groups often protect dependences that no longer carry
+// latency, and removing them lets the B-pipe drain its backlog several
+// groups per cycle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fleaflicker/internal/core"
+	"fleaflicker/internal/stats"
+	"fleaflicker/internal/workload"
+)
+
+func main() {
+	fmt.Println("2P vs 2Pre across the suite:")
+	fmt.Printf("%-14s %10s %10s %9s %14s\n", "benchmark", "2P", "2Pre", "speedup", "stop bits gone")
+	cfg := core.DefaultConfig()
+	for _, b := range workload.Suite() {
+		p := b.Program()
+		r2, err := core.Run(core.TwoPass, cfg, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r2re, err := core.Run(core.TwoPassRegroup, cfg, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %10d %10d %8.3fx %14d\n",
+			b.Name, r2.Cycles, r2re.Cycles,
+			float64(r2.Cycles)/float64(r2re.Cycles), r2re.Regrouped)
+	}
+
+	// Where does the gain come from? Compare the unstalled-cycle share:
+	// regrouping retires the same instructions in fewer dispatch cycles.
+	b, _ := workload.ByName("183.equake")
+	r2, _ := core.Run(core.TwoPass, cfg, b.Program())
+	r2re, _ := core.Run(core.TwoPassRegroup, cfg, b.Program())
+	fmt.Printf("\n183.equake unstalled dispatch cycles: 2P %d -> 2Pre %d\n",
+		r2.ByClass[stats.Unstalled], r2re.ByClass[stats.Unstalled])
+	fmt.Println("(the B-pipe issues merged groups while draining its queue backlog)")
+}

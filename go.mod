@@ -1,0 +1,3 @@
+module fleaflicker
+
+go 1.22

@@ -1,0 +1,244 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/program"
+)
+
+func run(t *testing.T, src string) *Result {
+	t.Helper()
+	p, err := program.Assemble(t.Name(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(p, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSumLoop(t *testing.T) {
+	r := run(t, `
+        .data 0x10000000
+result: .word 0
+        .text
+        movi r1 = 0
+        movi r2 = 1
+        movi r3 = 10
+        movi r4 = result ;;
+loop:   add r1 = r1, r2
+        cmp.lt p1 = r2, r3 ;;
+        addi r2 = r2, 1
+        (p1) br loop ;;
+        st4 [r4] = r1 ;;
+        halt ;;
+`)
+	if got := r.State.Mem.ReadU32(0x10000000); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+	if got := isa.AsI32(r.State.Read(isa.R(1))); got != 55 {
+		t.Errorf("r1 = %d, want 55", got)
+	}
+	// 4 + 10*4 + 2 retired instructions.
+	if r.Instructions != 46 {
+		t.Errorf("instructions = %d, want 46", r.Instructions)
+	}
+	if r.Branches != 9 { // taken 9 times... predicated-off final br not counted
+		t.Errorf("branches = %d, want 9", r.Branches)
+	}
+	if r.Stores != 1 {
+		t.Errorf("stores = %d, want 1", r.Stores)
+	}
+}
+
+func TestPredicationSuppressesEffects(t *testing.T) {
+	r := run(t, `
+        movi r1 = 5
+        movi r2 = 7
+        movi r10 = 0x1000 ;;
+        cmp.lt p1 = r1, r2
+        cmp.lt p2 = r2, r1 ;;
+        (p1) movi r3 = 111
+        (p2) movi r4 = 222
+        (p2) st4 [r10] = r1 ;;
+        halt ;;
+`)
+	if isa.AsI32(r.State.Read(isa.R(3))) != 111 {
+		t.Errorf("predicated-on write lost")
+	}
+	if r.State.Read(isa.R(4)) != 0 {
+		t.Errorf("predicated-off write happened")
+	}
+	if r.State.Mem.ReadU32(0x1000) != 0 {
+		t.Errorf("predicated-off store happened")
+	}
+	if r.Stores != 0 {
+		t.Errorf("predicated-off store counted: %d", r.Stores)
+	}
+}
+
+func TestCallRetProper(t *testing.T) {
+	r := run(t, `
+        movi r10 = 3 ;;
+        br.call r63 = double ;;
+        mov r11 = r10 ;;
+        br.call r63 = double ;;
+        halt ;;
+double: add r10 = r10, r10 ;;
+        br.ret r63 ;;
+`)
+	if isa.AsI32(r.State.Read(isa.R(11))) != 6 {
+		t.Errorf("r11 = %d, want 6", isa.AsI32(r.State.Read(isa.R(11))))
+	}
+	if isa.AsI32(r.State.Read(isa.R(10))) != 12 {
+		t.Errorf("r10 = %d, want 12", isa.AsI32(r.State.Read(isa.R(10))))
+	}
+}
+
+func TestIndirectBranch(t *testing.T) {
+	r := run(t, `
+        movi r1 = @dest ;;
+        br.ind r1 ;;
+        movi r2 = 1 ;;   // skipped
+dest:   movi r3 = 9 ;;
+        halt ;;
+`)
+	if r.State.Read(isa.R(2)) != 0 || isa.AsI32(r.State.Read(isa.R(3))) != 9 {
+		t.Errorf("indirect branch did not skip: r2=%d r3=%d",
+			r.State.Read(isa.R(2)), r.State.Read(isa.R(3)))
+	}
+}
+
+func TestMemorySizes(t *testing.T) {
+	r := run(t, `
+        movi r1 = 0x2000
+        movi r2 = 0x11223344 ;;
+        st4 [r1] = r2 ;;
+        ld1 r3 = [r1]
+        ld1 r4 = [r1, 3]
+        ld2 r5 = [r1, 1] ;;
+        st1 [r1, 2] = r4
+        st2 [r1, 4] = r5 ;;
+        ld4 r6 = [r1]
+        ld4 r7 = [r1, 4] ;;
+        halt ;;
+`)
+	reg := func(n int) uint32 { return uint32(r.State.Read(isa.R(n))) }
+	if reg(3) != 0x44 || reg(4) != 0x11 || reg(5) != 0x2233 {
+		t.Errorf("narrow loads wrong: %#x %#x %#x", reg(3), reg(4), reg(5))
+	}
+	if reg(6) != 0x11113344 {
+		t.Errorf("after st1: %#x, want 0x11113344", reg(6))
+	}
+	if reg(7) != 0x2233 {
+		t.Errorf("st2/ld4 = %#x, want 0x2233", reg(7))
+	}
+}
+
+func TestFPPath(t *testing.T) {
+	r := run(t, `
+        .data 0x3000
+a:      .float 1.5
+b:      .float 4.0
+out:    .float 0
+        .text
+        movi r1 = a ;;
+        ldf f2 = [r1]
+        ldf f3 = [r1, 8] ;;
+        fmul f4 = f2, f3
+        fcmp.lt p1 = f2, f3 ;;
+        fadd f5 = f4, f1       // f1 is hardwired 1.0
+        (p1) fsub f6 = f3, f2 ;;
+        fdiv f7 = f6, f2 ;;
+        f2i r2 = f7
+        stf [r1, 16] = f5 ;;
+        halt ;;
+`)
+	if got := isa.AsFP(r.State.Read(isa.F(5))); got != 7.0 {
+		t.Errorf("f5 = %v, want 7.0", got)
+	}
+	if got := isa.AsFP(r.State.Read(isa.F(6))); got != 2.5 {
+		t.Errorf("f6 = %v, want 2.5", got)
+	}
+	if got := isa.AsI32(r.State.Read(isa.R(2))); got != 1 { // 2.5/1.5 truncated
+		t.Errorf("r2 = %v, want 1", got)
+	}
+	if got := isa.AsFP(r.State.Mem.ReadF64(0x3010)); got != 7.0 {
+		t.Errorf("stored f5 = %v, want 7.0", got)
+	}
+}
+
+func TestHardwiredRegistersIgnoreWrites(t *testing.T) {
+	r := run(t, `
+        movi r0 = 99
+        movi r5 = 1 ;;
+        add r6 = r0, r5 ;;
+        halt ;;
+`)
+	if got := isa.AsI32(r.State.Read(isa.R(6))); got != 1 {
+		t.Errorf("r6 = %d, want 1 (r0 must stay 0)", got)
+	}
+}
+
+func TestRunawayProgramErrors(t *testing.T) {
+	p := program.MustAssemble("spin", `
+loop:   br loop ;;
+        halt ;;
+`)
+	if _, err := Run(p, 1000); err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("runaway program should error, got %v", err)
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	p := program.MustAssemble("oob", `
+        movi r1 = 99 ;;
+        br.ind r1 ;;
+        halt ;;
+`)
+	if _, err := Run(p, 1000); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range pc should error, got %v", err)
+	}
+}
+
+func TestStateEqualAndDiff(t *testing.T) {
+	a := NewState(mem.NewImage())
+	b := NewState(mem.NewImage())
+	if !a.Equal(b) || a.Diff(b) != "" {
+		t.Errorf("fresh states should be equal")
+	}
+	a.Write(isa.R(3), 7)
+	if a.Equal(b) {
+		t.Errorf("states differ; Equal said equal")
+	}
+	if d := a.Diff(b); !strings.Contains(d, "r3") {
+		t.Errorf("Diff = %q, want mention of r3", d)
+	}
+	b.Write(isa.R(3), 7)
+	a.Mem.WriteU32(0x100, 1)
+	if d := a.Diff(b); !strings.Contains(d, "memory") {
+		t.Errorf("Diff = %q, want memory difference", d)
+	}
+}
+
+func TestInstructionClassCounts(t *testing.T) {
+	r := run(t, `
+        movi r1 = 0x4000 ;;
+        ld4 r2 = [r1] ;;
+        fadd f2 = f1, f1 ;;
+        br next ;;
+next:   halt ;;
+`)
+	if r.ByClass[isa.ClassALU] != 1 || r.ByClass[isa.ClassMEM] != 1 ||
+		r.ByClass[isa.ClassFP] != 1 || r.ByClass[isa.ClassBR] != 2 {
+		t.Errorf("ByClass = %v", r.ByClass)
+	}
+	if r.Loads != 1 {
+		t.Errorf("Loads = %d", r.Loads)
+	}
+}

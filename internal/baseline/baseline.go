@@ -1,0 +1,263 @@
+// Package baseline implements the reference in-order EPIC machine of the
+// paper's evaluation: an 8-issue, Itanium-2-like pipeline (one stage longer,
+// per §4) that stalls an entire issue group in the REG stage whenever any
+// instruction in it has an unready operand — the group-granularity
+// "artificial dependence" behaviour that two-pass pipelining removes.
+//
+// The machine is functional-at-dispatch: instruction results are computed
+// architecturally the cycle their group dispatches, while a per-register
+// scoreboard carries the timing (a value written with latency L may not be
+// consumed for L cycles). Because dispatch is strictly in program order this
+// yields exact architectural state, verified against internal/arch.
+package baseline
+
+import (
+	"fmt"
+
+	"fleaflicker/internal/arch"
+	"fleaflicker/internal/bpred"
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/pipeline"
+	"fleaflicker/internal/program"
+	"fleaflicker/internal/stats"
+)
+
+// Config parameterizes the machine.
+type Config struct {
+	Front      pipeline.Config
+	Mem        mem.Config
+	Bpred      bpred.Config
+	IssueWidth int
+	FUs        [isa.NumFUClasses]int
+	// MaxCycles aborts runaway simulations.
+	MaxCycles int64
+}
+
+// DefaultConfig returns the Table 1 machine.
+func DefaultConfig() Config {
+	return Config{
+		Front:      pipeline.DefaultConfig(),
+		Mem:        mem.DefaultConfig(),
+		Bpred:      bpred.DefaultConfig(),
+		IssueWidth: 8,
+		FUs:        [isa.NumFUClasses]int{isa.ClassALU: 5, isa.ClassMEM: 3, isa.ClassFP: 3, isa.ClassBR: 3},
+		MaxCycles:  2_000_000_000,
+	}
+}
+
+// Machine is one baseline simulation instance.
+type Machine struct {
+	cfg  Config
+	prog *program.Program
+	fe   *pipeline.FrontEnd
+	hier *mem.Hierarchy
+	st   *arch.State
+
+	// ready[r] is the first cycle register r's pending value may be
+	// consumed; loadProducer[r] records whether that value comes from a
+	// load (for stall classification).
+	ready        [isa.NumRegs]int64
+	loadProducer [isa.NumRegs]bool
+
+	now    int64
+	halted bool
+	run    stats.Run
+}
+
+// New builds a machine over a fresh copy of the program's memory. The
+// program must satisfy Validate for the configured widths.
+func New(cfg Config, prog *program.Program) (*Machine, error) {
+	if err := prog.Validate(cfg.IssueWidth, cfg.FUs); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	hier := mem.NewHierarchy(cfg.Mem)
+	m := &Machine{
+		cfg:  cfg,
+		prog: prog,
+		fe:   pipeline.NewFrontEnd(cfg.Front, prog, hier, bpred.New(cfg.Bpred)),
+		hier: hier,
+		st:   arch.NewState(prog.InitialImage()),
+	}
+	m.run.Benchmark = prog.Name
+	m.run.Model = "base"
+	return m, nil
+}
+
+// State exposes the architectural state (for correctness comparison).
+func (m *Machine) State() *arch.State { return m.st }
+
+// Run simulates to completion and returns the measurements.
+func (m *Machine) Run() (*stats.Run, error) {
+	for !m.halted {
+		if m.now >= m.cfg.MaxCycles {
+			return nil, fmt.Errorf("baseline: %q exceeded %d cycles", m.prog.Name, m.cfg.MaxCycles)
+		}
+		m.fe.Tick(m.now)
+		m.step()
+		m.now++
+	}
+	m.run.Cycles = m.now
+	m.run.Mem = m.hier.Stats()
+	if err := m.run.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	r := m.run
+	return &r, nil
+}
+
+// step attempts to dispatch the head issue group and classifies the cycle.
+func (m *Machine) step() {
+	g := m.fe.Head(m.now)
+	if g == nil {
+		m.run.ByClass[stats.FrontEndStall]++
+		return
+	}
+	if cls, blocked := m.groupBlocked(g); blocked {
+		m.run.ByClass[cls]++
+		return
+	}
+	m.fe.Pop() // before dispatch: a mispredicted branch flushes the queue
+	m.dispatch(g)
+	m.run.ByClass[stats.Unstalled]++
+}
+
+// groupBlocked applies the REG-stage interlocks: every source of every
+// instruction in the group must be ready (group-granularity stall), every
+// destination must be free of a pending longer-latency write (the WAW stall
+// condition typical of EPIC scoreboards, §3.3), and the memory system must
+// be able to accept the group's loads.
+func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, bool) {
+	blockedUntil := int64(-1)
+	blockedByLoad := false
+	consider := func(r isa.Reg) {
+		if r == isa.RegNone || r.Hardwired() {
+			return
+		}
+		if t := m.ready[r]; t > m.now && t > blockedUntil {
+			blockedUntil = t
+			blockedByLoad = m.loadProducer[r]
+		}
+	}
+	var srcs []isa.Reg
+	for _, d := range g.Insts {
+		srcs = d.In.Sources(srcs[:0])
+		for _, s := range srcs {
+			consider(s)
+		}
+		if d.In.HasDest() {
+			consider(d.In.Dst)
+		}
+	}
+	if blockedUntil > m.now {
+		if blockedByLoad {
+			return stats.LoadStall, true
+		}
+		return stats.NonLoadDepStall, true
+	}
+	// Operands ready: compute load addresses to check outstanding-load
+	// capacity as a group. (Address operands are ready by construction
+	// here.)
+	var addrs []uint32
+	for _, d := range g.Insts {
+		if !d.In.Op.IsLoad() || m.st.Read(d.In.Pred) == 0 {
+			continue
+		}
+		addrs = append(addrs, isa.EffectiveAddress(m.st.Read(d.In.Src1), d.In.Imm))
+	}
+	if len(addrs) > 0 && !m.hier.CanAcceptLoads(addrs, m.now) {
+		return stats.ResourceStall, true
+	}
+	return 0, false
+}
+
+// dispatch executes an issue group whose operands are all ready.
+func (m *Machine) dispatch(g *pipeline.Group) {
+	for _, d := range g.Insts {
+		in := d.In
+		m.run.Instructions++
+		predOn := m.st.Read(in.Pred) != 0
+
+		if in.Op.IsBranch() || in.Op == isa.OpHalt {
+			if m.resolveBranch(d, predOn) {
+				return // squash younger same-group instructions
+			}
+			continue
+		}
+		if !predOn {
+			continue // retires as a no-op
+		}
+		switch {
+		case in.Op == isa.OpNop:
+		case in.Op.IsLoad():
+			addr := isa.EffectiveAddress(m.st.Read(in.Src1), in.Imm)
+			lat, lvl := m.hier.Load(addr, m.now)
+			m.run.RecordAccess(lvl, stats.PipeA, m.hier.Levels())
+			m.st.Write(in.Dst, m.st.Mem.Read(addr, in.Op.MemSize()))
+			m.setReady(in.Dst, m.now+int64(lat), true)
+		case in.Op.IsStore():
+			addr := isa.EffectiveAddress(m.st.Read(in.Src1), in.Imm)
+			m.st.Mem.Write(addr, in.Op.MemSize(), m.st.Read(in.Src2))
+			m.hier.Store(addr, m.now)
+			m.run.StoresTotal++
+		default:
+			m.st.Write(in.Dst, isa.Eval(in.Op, m.st.Read(in.Src1), m.st.Read(in.Src2), in.Imm))
+			m.setReady(in.Dst, m.now+int64(in.Op.Latency()), false)
+		}
+	}
+}
+
+func (m *Machine) setReady(r isa.Reg, at int64, fromLoad bool) {
+	if r == isa.RegNone || r.Hardwired() {
+		return
+	}
+	m.ready[r] = at
+	m.loadProducer[r] = fromLoad
+}
+
+// resolveBranch executes a branch (or halt), trains the predictor, and
+// redirects the front end on a misprediction. It reports whether younger
+// instructions in the same group must be squashed.
+func (m *Machine) resolveBranch(d *pipeline.DynInst, predOn bool) (squash bool) {
+	in := d.In
+	if in.Op == isa.OpHalt {
+		m.halted = true
+		return true
+	}
+	taken := false
+	target := d.PC + 1
+	if predOn {
+		switch in.Op {
+		case isa.OpBr:
+			taken, target = true, in.Target
+		case isa.OpBrCall:
+			taken, target = true, in.Target
+			m.st.Write(in.Dst, isa.Value(uint32(d.PC+1)))
+			m.setReady(in.Dst, m.now+1, false)
+		case isa.OpBrRet, isa.OpBrInd:
+			taken = true
+			target = int32(uint32(m.st.Read(in.Src1)))
+		}
+	}
+	actualNext := d.PC + 1
+	if taken {
+		actualNext = target
+	}
+	// Train the predictor.
+	pred := m.fe.Predictor()
+	if d.HasCP {
+		pred.Resolve(d.PC, d.CP, d.PredTaken, taken)
+	}
+	if in.Op == isa.OpBrRet || in.Op == isa.OpBrInd {
+		if taken {
+			pred.UpdateIndirect(d.PC, target)
+		}
+	}
+	if actualNext == d.NextPC && !d.NoPrediction {
+		return false // correctly predicted
+	}
+	// Misprediction (or an unpredicted indirect): redirect at DET.
+	m.run.MispredictsA++
+	m.fe.Redirect(actualNext, m.now+pipeline.DETOffset)
+	return true
+}

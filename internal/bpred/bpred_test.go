@@ -1,0 +1,136 @@
+package bpred
+
+import "testing"
+
+func small() *Predictor {
+	return New(Config{PHTEntries: 64, HistBits: 6, BTBEntries: 16, RASEntries: 4})
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := small()
+	pc := int32(12)
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		taken, cp := p.PredictCond(pc)
+		if p.Resolve(pc, cp, taken, true) {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Errorf("always-taken branch mispredicted %d/100 times", wrong)
+	}
+}
+
+func TestLearnsAlternatingWithHistory(t *testing.T) {
+	// gshare with 6 bits of history should learn a strict T/N/T/N pattern
+	// perfectly once warmed up.
+	p := small()
+	pc := int32(40)
+	wrong := 0
+	for i := 0; i < 400; i++ {
+		actual := i%2 == 0
+		taken, cp := p.PredictCond(pc)
+		if p.Resolve(pc, cp, taken, actual) && i > 100 {
+			wrong++
+		}
+	}
+	if wrong != 0 {
+		t.Errorf("alternating branch mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestGHRRepairOnMispredict(t *testing.T) {
+	p := small()
+	before := p.ghr
+	predicted, cp := p.PredictCond(7)
+	if p.ghr == before && p.cfg.HistBits > 0 && predicted {
+		t.Errorf("speculative GHR update missing")
+	}
+	p.Resolve(7, cp, predicted, !predicted) // force mispredict
+	wantGHR := (before<<1 | ghrBit(!predicted)) & (1<<p.cfg.HistBits - 1)
+	if p.ghr != wantGHR {
+		t.Errorf("GHR after repair = %b, want %b", p.ghr, wantGHR)
+	}
+	if p.Mispredicts != 1 {
+		t.Errorf("Mispredicts = %d", p.Mispredicts)
+	}
+}
+
+func ghrBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestCorrectPredictionKeepsSpeculativeGHR(t *testing.T) {
+	p := small()
+	predicted, cp := p.PredictCond(3)
+	after := p.ghr
+	p.Resolve(3, cp, predicted, predicted)
+	if p.ghr != after {
+		t.Errorf("correct prediction must not disturb the speculative GHR")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := small()
+	if _, ok := p.PredictIndirect(5); ok {
+		t.Errorf("cold BTB should miss")
+	}
+	p.UpdateIndirect(5, 99)
+	if tgt, ok := p.PredictIndirect(5); !ok || tgt != 99 {
+		t.Errorf("BTB = %d,%v; want 99,true", tgt, ok)
+	}
+	// Aliasing entry (same index, different pc) must not false-hit.
+	p.UpdateIndirect(5+16, 1)
+	if _, ok := p.PredictIndirect(5); ok {
+		t.Errorf("BTB tag check failed: aliased entry hit")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	p := small()
+	p.PushRAS(10)
+	p.PushRAS(20)
+	if tgt, ok := p.PopRAS(); !ok || tgt != 20 {
+		t.Errorf("PopRAS = %d,%v; want 20", tgt, ok)
+	}
+	if tgt, ok := p.PopRAS(); !ok || tgt != 10 {
+		t.Errorf("PopRAS = %d,%v; want 10", tgt, ok)
+	}
+	if _, ok := p.PopRAS(); ok {
+		t.Errorf("empty RAS should miss")
+	}
+}
+
+func TestRASOverflowDropsOldest(t *testing.T) {
+	p := small() // depth 4
+	for i := int32(1); i <= 5; i++ {
+		p.PushRAS(i * 10)
+	}
+	for want := int32(50); want >= 20; want -= 10 {
+		if tgt, ok := p.PopRAS(); !ok || tgt != want {
+			t.Fatalf("PopRAS = %d,%v; want %d", tgt, ok, want)
+		}
+	}
+	if _, ok := p.PopRAS(); ok {
+		t.Errorf("oldest entry should have been dropped")
+	}
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	c := DefaultConfig()
+	if c.PHTEntries != 1024 || c.HistBits != 10 {
+		t.Errorf("default gshare is %d entries/%d bits, want 1024/10", c.PHTEntries, c.HistBits)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("non-power-of-two PHT should panic")
+		}
+	}()
+	New(Config{PHTEntries: 100, HistBits: 4, BTBEntries: 16, RASEntries: 4})
+}

@@ -1,0 +1,189 @@
+// Package core is the library façade: one configuration type covering every
+// machine model (baseline in-order EPIC, two-pass "flea-flicker" with and
+// without regrouping, and the run-ahead comparator), a single Run entry
+// point, and a verified variant that checks the timed machine's final
+// architectural state against the functional reference executor.
+package core
+
+import (
+	"fmt"
+
+	"fleaflicker/internal/arch"
+	"fleaflicker/internal/baseline"
+	"fleaflicker/internal/bpred"
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/pipeline"
+	"fleaflicker/internal/program"
+	"fleaflicker/internal/runahead"
+	"fleaflicker/internal/stats"
+	"fleaflicker/internal/twopass"
+)
+
+// Model selects a machine organization.
+type Model int
+
+// The machine models of the evaluation.
+const (
+	// Baseline is the in-order EPIC machine ("base" in Figure 6).
+	Baseline Model = iota
+	// TwoPass is flea-flicker two-pass pipelining ("2P").
+	TwoPass
+	// TwoPassRegroup is two-pass with B-pipe instruction regrouping
+	// ("2Pre").
+	TwoPassRegroup
+	// Runahead is the idealized checkpoint run-ahead comparator of §2.
+	Runahead
+)
+
+func (m Model) String() string {
+	switch m {
+	case Baseline:
+		return "base"
+	case TwoPass:
+		return "2P"
+	case TwoPassRegroup:
+		return "2Pre"
+	case Runahead:
+		return "runahead"
+	}
+	return "?"
+}
+
+// Models lists every model, in Figure 6 presentation order plus the
+// comparator.
+func Models() []Model { return []Model{Baseline, TwoPass, TwoPassRegroup, Runahead} }
+
+// Config is the unified machine configuration; DefaultConfig matches
+// Table 1 of the paper.
+type Config struct {
+	Front      pipeline.Config
+	Mem        mem.Config
+	Bpred      bpred.Config
+	IssueWidth int
+	FUs        [isa.NumFUClasses]int
+
+	// Two-pass parameters (ignored by other models).
+	CQSize             int
+	ALATCapacity       int // 0 = perfect (Table 1)
+	FeedbackLatency    int // B→A update latency; negative = disabled
+	DeferThrottle      int
+	StallOnAnticipable bool
+	// SBSize bounds the speculative store buffer (0 = unbounded).
+	SBSize int
+	// ConflictPredictor enables the §3.4-inspired store-wait predictor.
+	ConflictPredictor bool
+	// CheckpointRepair selects §3.6's checkpointed A-file recovery for
+	// B-DET mispredictions instead of copy-back repair.
+	CheckpointRepair bool
+
+	// Run-ahead parameters (ignored by other models).
+	RunaheadExitPenalty int
+	RunaheadMinStall    int
+
+	MaxCycles int64
+}
+
+// DefaultConfig returns the Table 1 machine.
+func DefaultConfig() Config {
+	return Config{
+		Front:            pipeline.DefaultConfig(),
+		Mem:              mem.DefaultConfig(),
+		Bpred:            bpred.DefaultConfig(),
+		IssueWidth:       8,
+		FUs:              [isa.NumFUClasses]int{isa.ClassALU: 5, isa.ClassMEM: 3, isa.ClassFP: 3, isa.ClassBR: 3},
+		CQSize:           64,
+		ALATCapacity:     0,
+		FeedbackLatency:  0,
+		RunaheadMinStall: 8,
+		MaxCycles:        2_000_000_000,
+	}
+}
+
+// BaselineConfig converts to the baseline machine's configuration.
+func (c Config) BaselineConfig() baseline.Config {
+	return baseline.Config{
+		Front: c.Front, Mem: c.Mem, Bpred: c.Bpred,
+		IssueWidth: c.IssueWidth, FUs: c.FUs, MaxCycles: c.MaxCycles,
+	}
+}
+
+// TwoPassConfig converts to the two-pass machine's configuration.
+func (c Config) TwoPassConfig(regroup bool) twopass.Config {
+	return twopass.Config{
+		Front: c.Front, Mem: c.Mem, Bpred: c.Bpred,
+		IssueWidth: c.IssueWidth, FUs: c.FUs,
+		CQSize: c.CQSize, ALATCapacity: c.ALATCapacity,
+		FeedbackLatency: c.FeedbackLatency, Regroup: regroup,
+		DeferThrottle: c.DeferThrottle, StallOnAnticipable: c.StallOnAnticipable,
+		SBSize: c.SBSize, ConflictPredictor: c.ConflictPredictor,
+		CheckpointRepair: c.CheckpointRepair,
+		MaxCycles:        c.MaxCycles,
+	}
+}
+
+// RunaheadConfig converts to the run-ahead machine's configuration.
+func (c Config) RunaheadConfig() runahead.Config {
+	return runahead.Config{
+		Front: c.Front, Mem: c.Mem, Bpred: c.Bpred,
+		IssueWidth: c.IssueWidth, FUs: c.FUs,
+		ExitPenalty: c.RunaheadExitPenalty, MinStallCycles: c.RunaheadMinStall,
+		MaxCycles: c.MaxCycles,
+	}
+}
+
+// machine is what every model implementation provides.
+type machine interface {
+	Run() (*stats.Run, error)
+	State() *arch.State
+}
+
+func build(model Model, cfg Config, prog *program.Program) (machine, error) {
+	switch model {
+	case Baseline:
+		return baseline.New(cfg.BaselineConfig(), prog)
+	case TwoPass:
+		return twopass.New(cfg.TwoPassConfig(false), prog)
+	case TwoPassRegroup:
+		return twopass.New(cfg.TwoPassConfig(true), prog)
+	case Runahead:
+		return runahead.New(cfg.RunaheadConfig(), prog)
+	}
+	return nil, fmt.Errorf("core: unknown model %d", model)
+}
+
+// Run simulates prog to completion on the selected machine model.
+func Run(model Model, cfg Config, prog *program.Program) (*stats.Run, error) {
+	m, err := build(model, cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// RunVerified simulates prog and additionally checks that the machine's
+// final architectural state matches the functional reference executor —
+// the repository's golden correctness invariant.
+func RunVerified(model Model, cfg Config, prog *program.Program) (*stats.Run, error) {
+	ref, err := arch.Run(prog, cfg.MaxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("core: reference execution: %w", err)
+	}
+	m, err := build(model, cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	r, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !m.State().Equal(ref.State) {
+		return nil, fmt.Errorf("core: %v machine diverged from the reference executor on %q: %s",
+			model, prog.Name, m.State().Diff(ref.State))
+	}
+	if r.Instructions != ref.Instructions {
+		return nil, fmt.Errorf("core: %v retired %d instructions, reference retired %d",
+			model, r.Instructions, ref.Instructions)
+	}
+	return r, nil
+}

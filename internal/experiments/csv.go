@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/stats"
+)
+
+// WriteCSV exports the suite's Figure 6 and Figure 7 data as
+// machine-readable CSV files (fig6.csv, fig7.csv) in dir, creating it if
+// needed.
+func WriteCSV(s *SuiteRuns, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeCSVFile(filepath.Join(dir, "fig6.csv"), fig6Records(s)); err != nil {
+		return err
+	}
+	return writeCSVFile(filepath.Join(dir, "fig7.csv"), fig7Records(s))
+}
+
+// WriteFig8CSV exports a Figure 8 sweep as fig8.csv in dir.
+func WriteFig8CSV(points []Fig8Point, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	recs := [][]string{{"benchmark", "feedback_latency", "deferred", "cycles"}}
+	for _, p := range points {
+		lat := strconv.Itoa(p.Latency)
+		if p.Latency < 0 {
+			lat = "inf"
+		}
+		recs = append(recs, []string{
+			p.Benchmark, lat,
+			strconv.FormatInt(p.Deferred, 10),
+			strconv.FormatInt(p.Cycles, 10),
+		})
+	}
+	return writeCSVFile(filepath.Join(dir, "fig8.csv"), recs)
+}
+
+func fig6Records(s *SuiteRuns) [][]string {
+	recs := [][]string{{
+		"benchmark", "model", "cycles", "instructions", "ipc",
+		"unstalled", "load_stall", "nonload_stall", "resource_stall",
+		"frontend_stall", "apipe_stall",
+		"deferred", "preexecuted", "mispredicts_a", "mispredicts_b",
+		"conflict_flushes", "regrouped",
+	}}
+	for _, bench := range s.Benchmarks {
+		for _, m := range Fig6Models {
+			r := s.Get(bench, m)
+			if r == nil {
+				continue
+			}
+			recs = append(recs, []string{
+				bench, m.String(),
+				strconv.FormatInt(r.Cycles, 10),
+				strconv.FormatInt(r.Instructions, 10),
+				fmt.Sprintf("%.4f", r.IPC()),
+				strconv.FormatInt(r.ByClass[stats.Unstalled], 10),
+				strconv.FormatInt(r.ByClass[stats.LoadStall], 10),
+				strconv.FormatInt(r.ByClass[stats.NonLoadDepStall], 10),
+				strconv.FormatInt(r.ByClass[stats.ResourceStall], 10),
+				strconv.FormatInt(r.ByClass[stats.FrontEndStall], 10),
+				strconv.FormatInt(r.ByClass[stats.APipeStall], 10),
+				strconv.FormatInt(r.Deferred, 10),
+				strconv.FormatInt(r.PreExecuted, 10),
+				strconv.FormatInt(r.MispredictsA, 10),
+				strconv.FormatInt(r.MispredictsB, 10),
+				strconv.FormatInt(r.ConflictFlushes, 10),
+				strconv.FormatInt(r.Regrouped, 10),
+			})
+		}
+	}
+	return recs
+}
+
+func fig7Records(s *SuiteRuns) [][]string {
+	recs := [][]string{{"benchmark", "model", "level", "pipe", "accesses", "access_cycles"}}
+	for _, bench := range s.Benchmarks {
+		for _, m := range Fig6Models {
+			r := s.Get(bench, m)
+			if r == nil {
+				continue
+			}
+			for lvl := mem.Level(0); lvl < mem.NumLevels; lvl++ {
+				for p := stats.Pipe(0); p < stats.NumPipes; p++ {
+					recs = append(recs, []string{
+						bench, m.String(), lvl.String(), p.String(),
+						strconv.FormatInt(r.Access[lvl][p], 10),
+						strconv.FormatInt(r.AccessCycles[lvl][p], 10),
+					})
+				}
+			}
+		}
+	}
+	return recs
+}
+
+func writeCSVFile(path string, records [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(records); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

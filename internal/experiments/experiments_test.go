@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fleaflicker/internal/core"
+	"fleaflicker/internal/workload"
+)
+
+// fastBenches returns two quick suite entries so the experiment drivers are
+// exercised end to end without long runtimes.
+func fastBenches(t *testing.T) []*workload.Benchmark {
+	t.Helper()
+	var out []*workload.Benchmark
+	for _, name := range []string{"300.twolf", "099.go"} {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestRunSuiteAndRenderers(t *testing.T) {
+	s, err := RunSuite(core.DefaultConfig(), core.Models(), fastBenches(t), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range s.Benchmarks {
+		for _, m := range core.Models() {
+			r := s.Get(bench, m)
+			if r == nil {
+				t.Fatalf("missing run %s/%v", bench, m)
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Errorf("%s/%v: %v", bench, m, err)
+			}
+		}
+	}
+
+	fig6 := RenderFig6(s)
+	if !strings.Contains(fig6, "300.twolf") || !strings.Contains(fig6, "2Pre") ||
+		!strings.Contains(fig6, "geometric-mean") {
+		t.Errorf("Fig6 output incomplete:\n%s", fig6)
+	}
+	// The baseline row is normalized to exactly 1.000.
+	for _, line := range strings.Split(fig6, "\n") {
+		if strings.Contains(line, " base ") && !strings.Contains(line, "1.000") {
+			t.Errorf("baseline not normalized to 1.000: %q", line)
+		}
+	}
+
+	fig7 := RenderFig7(s)
+	if !strings.Contains(fig7, "L2 (A/B)") || !strings.Contains(fig7, "099.go") {
+		t.Errorf("Fig7 output incomplete:\n%s", fig7)
+	}
+
+	scalars := RenderScalars(s)
+	if !strings.Contains(scalars, "mispredictions resolved in A-pipe") ||
+		!strings.Contains(scalars, "conflict-free") {
+		t.Errorf("scalars output incomplete:\n%s", scalars)
+	}
+
+	motiv := RenderMotivation(s)
+	if !strings.Contains(motiv, "stall%") {
+		t.Errorf("motivation output incomplete:\n%s", motiv)
+	}
+
+	ra := RenderRunaheadCompare(s)
+	if !strings.Contains(ra, "runahead") {
+		t.Errorf("runahead comparison incomplete:\n%s", ra)
+	}
+}
+
+func TestSpeedupSummary(t *testing.T) {
+	s, err := RunSuite(core.DefaultConfig(), Fig6Models, fastBenches(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, sp2re := SpeedupSummary(s)
+	if sp2 < 0.5 || sp2 > 3 || sp2re < sp2*0.9 {
+		t.Errorf("implausible speedups: 2P %.3f, 2Pre %.3f", sp2, sp2re)
+	}
+}
+
+func TestFig8Driver(t *testing.T) {
+	points, err := Fig8(core.DefaultConfig(), []string{"300.twolf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Fig8Latencies) {
+		t.Fatalf("got %d points, want %d", len(points), len(Fig8Latencies))
+	}
+	out := RenderFig8(points)
+	if !strings.Contains(out, "inf") || !strings.Contains(out, "300.twolf") {
+		t.Errorf("Fig8 render incomplete:\n%s", out)
+	}
+	// Deferred counts can only grow (weakly) as feedback slows.
+	if points[len(points)-1].Deferred < points[0].Deferred {
+		t.Errorf("deferred shrank without feedback: %v", points)
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := RenderTable1(core.DefaultConfig())
+	for _, want := range []string{"8-issue", "145 cycles", "1024-entry gshare", "64 entries", "perfect"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2, err := RenderTable2(fastBenches(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t2, "300.twolf") || !strings.Contains(t2, "instructions") {
+		t.Errorf("Table 2 incomplete:\n%s", t2)
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cq, err := CQSweep(cfg, "300.twolf", []int{16, 64})
+	if err != nil || len(cq) != 2 {
+		t.Fatalf("CQSweep: %v %v", cq, err)
+	}
+	al, err := ALATSweep(cfg, "300.twolf", []int{0, 8})
+	if err != nil || len(al) != 2 {
+		t.Fatalf("ALATSweep: %v %v", al, err)
+	}
+	th, err := ThrottleSweep(cfg, "300.twolf", []int{0, 8})
+	if err != nil || len(th) != 2 {
+		t.Fatalf("ThrottleSweep: %v %v", th, err)
+	}
+	out := RenderSweep("title", "v", "x", cq)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "300.twolf") {
+		t.Errorf("sweep render incomplete:\n%s", out)
+	}
+	if _, err := CQSweep(cfg, "no.such", []int{16}); err == nil {
+		t.Errorf("unknown benchmark should error")
+	}
+}
+
+func TestRunSuiteErrorPropagates(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.MaxCycles = 10 // everything times out
+	if _, err := RunSuite(cfg, Fig6Models, fastBenches(t), false); err == nil {
+		t.Errorf("expected timeout error")
+	}
+}
+
+func TestSortedBenchNames(t *testing.T) {
+	s := &SuiteRuns{Benchmarks: []string{"b", "a"}}
+	got := SortedBenchNames(s)
+	if got[0] != "a" || got[1] != "b" {
+		t.Errorf("not sorted: %v", got)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	s, err := RunSuite(core.DefaultConfig(), Fig6Models, fastBenches(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCSV(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig6.csv", "fig7.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		text := string(data)
+		if !strings.Contains(text, "300.twolf") || !strings.Contains(text, "2Pre") {
+			t.Errorf("%s missing expected rows:\n%s", name, text[:min(400, len(text))])
+		}
+	}
+	points, err := Fig8(core.DefaultConfig(), []string{"300.twolf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig8CSV(points, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig8.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "inf") {
+		t.Errorf("fig8.csv missing the disabled-feedback row")
+	}
+}

@@ -1,0 +1,198 @@
+package isa
+
+// Op identifies an operation.
+type Op uint8
+
+// Operations. Arithmetic is ILP32: integer results are truncated to 32 bits.
+const (
+	OpNop Op = iota
+
+	// Integer ALU (class ALU, latency 1 unless noted).
+	OpAdd  // Dst = Src1 + Src2
+	OpSub  // Dst = Src1 - Src2
+	OpAddI // Dst = Src1 + Imm
+	OpAnd  // Dst = Src1 & Src2
+	OpAndI // Dst = Src1 & Imm
+	OpOr   // Dst = Src1 | Src2
+	OpOrI  // Dst = Src1 | Imm
+	OpXor  // Dst = Src1 ^ Src2
+	OpXorI // Dst = Src1 ^ Imm
+	OpShl  // Dst = Src1 << (Src2 & 31)
+	OpShlI // Dst = Src1 << (Imm & 31)
+	OpShr  // Dst = Src1 >> (Src2 & 31)   (logical)
+	OpShrI // Dst = Src1 >> (Imm & 31)    (logical)
+	OpSar  // Dst = int32(Src1) >> (Src2 & 31) (arithmetic)
+	OpSarI // Dst = int32(Src1) >> (Imm & 31)
+	OpMul  // Dst = Src1 * Src2 (latency 3)
+	OpMovI // Dst = Imm
+	OpMov  // Dst = Src1 (conditional moves are expressed with predication)
+
+	// Integer compares writing a predicate register (class ALU, latency 1).
+	OpCmpEq  // PDst = (Src1 == Src2)
+	OpCmpNe  // PDst = (Src1 != Src2)
+	OpCmpLt  // PDst = (int32(Src1) < int32(Src2))
+	OpCmpLe  // PDst = (int32(Src1) <= int32(Src2))
+	OpCmpLtU // PDst = (Src1 < Src2) unsigned
+	OpCmpLeU // PDst = (Src1 <= Src2) unsigned
+	OpCmpEqI // PDst = (Src1 == Imm)
+	OpCmpNeI // PDst = (Src1 != Imm)
+	OpCmpLtI // PDst = (int32(Src1) < Imm)
+	OpCmpLeI // PDst = (int32(Src1) <= Imm)
+
+	// Memory (class MEM). Effective address = Src1 + Imm. Loads have a
+	// variable latency determined by the cache hierarchy (2 cycles on an
+	// L1D hit). Store data is Src2.
+	OpLd1 // Dst = zx8(mem[ea])
+	OpLd2 // Dst = zx16(mem[ea])
+	OpLd4 // Dst = mem[ea]
+	OpLdF // FDst = float64(mem[ea]) — 8-byte FP load
+	OpSt1 // mem[ea] = Src2 & 0xFF
+	OpSt2 // mem[ea] = Src2 & 0xFFFF
+	OpSt4 // mem[ea] = Src2
+	OpStF // mem[ea] = FSrc2 — 8-byte FP store
+
+	// Floating point (class FP, latency 4 unless noted).
+	OpFAdd   // FDst = FSrc1 + FSrc2
+	OpFSub   // FDst = FSrc1 - FSrc2
+	OpFMul   // FDst = FSrc1 * FSrc2
+	OpFDiv   // FDst = FSrc1 / FSrc2 (latency 20)
+	OpFNeg   // FDst = -FSrc1
+	OpFCmpLt // PDst = (FSrc1 < FSrc2)
+	OpFCmpLe // PDst = (FSrc1 <= FSrc2)
+	OpFCmpEq // PDst = (FSrc1 == FSrc2)
+	OpI2F    // FDst = float64(int32(Src1))
+	OpF2I    // Dst = int32(FSrc1)
+
+	// Branches (class BR, latency 1). Direction of OpBr is governed by the
+	// qualifying predicate like any other instruction: a predicated-off
+	// branch falls through.
+	OpBr     // goto Target
+	OpBrCall // Dst = return address (next PC); goto Target
+	OpBrRet  // goto Src1 (indirect)
+	OpBrInd  // goto Src1 (indirect)
+
+	// OpHalt terminates the program (class BR).
+	OpHalt
+
+	numOps
+)
+
+// FUClass is the functional-unit class an operation executes on.
+type FUClass uint8
+
+// Functional unit classes, matching Table 1 of the paper
+// (5 ALU, 3 Memory, 3 FP, 3 Branch on an 8-issue machine).
+const (
+	ClassALU FUClass = iota
+	ClassMEM
+	ClassFP
+	ClassBR
+	NumFUClasses
+)
+
+func (c FUClass) String() string {
+	switch c {
+	case ClassALU:
+		return "ALU"
+	case ClassMEM:
+		return "MEM"
+	case ClassFP:
+		return "FP"
+	case ClassBR:
+		return "BR"
+	}
+	return "?"
+}
+
+type opInfo struct {
+	name    string
+	class   FUClass
+	latency int // fixed latency; loads are dynamic (this is the assumed L1-hit latency)
+	isLoad  bool
+	isStore bool
+	isBr    bool
+	memSize int // bytes accessed, 0 for non-memory
+}
+
+var opTable = [numOps]opInfo{
+	OpNop:    {"nop", ClassALU, 1, false, false, false, 0},
+	OpAdd:    {"add", ClassALU, 1, false, false, false, 0},
+	OpSub:    {"sub", ClassALU, 1, false, false, false, 0},
+	OpAddI:   {"addi", ClassALU, 1, false, false, false, 0},
+	OpAnd:    {"and", ClassALU, 1, false, false, false, 0},
+	OpAndI:   {"andi", ClassALU, 1, false, false, false, 0},
+	OpOr:     {"or", ClassALU, 1, false, false, false, 0},
+	OpOrI:    {"ori", ClassALU, 1, false, false, false, 0},
+	OpXor:    {"xor", ClassALU, 1, false, false, false, 0},
+	OpXorI:   {"xori", ClassALU, 1, false, false, false, 0},
+	OpShl:    {"shl", ClassALU, 1, false, false, false, 0},
+	OpShlI:   {"shli", ClassALU, 1, false, false, false, 0},
+	OpShr:    {"shr", ClassALU, 1, false, false, false, 0},
+	OpShrI:   {"shri", ClassALU, 1, false, false, false, 0},
+	OpSar:    {"sar", ClassALU, 1, false, false, false, 0},
+	OpSarI:   {"sari", ClassALU, 1, false, false, false, 0},
+	OpMul:    {"mul", ClassALU, 3, false, false, false, 0},
+	OpMovI:   {"movi", ClassALU, 1, false, false, false, 0},
+	OpMov:    {"mov", ClassALU, 1, false, false, false, 0},
+	OpCmpEq:  {"cmp.eq", ClassALU, 1, false, false, false, 0},
+	OpCmpNe:  {"cmp.ne", ClassALU, 1, false, false, false, 0},
+	OpCmpLt:  {"cmp.lt", ClassALU, 1, false, false, false, 0},
+	OpCmpLe:  {"cmp.le", ClassALU, 1, false, false, false, 0},
+	OpCmpLtU: {"cmp.ltu", ClassALU, 1, false, false, false, 0},
+	OpCmpLeU: {"cmp.leu", ClassALU, 1, false, false, false, 0},
+	OpCmpEqI: {"cmpi.eq", ClassALU, 1, false, false, false, 0},
+	OpCmpNeI: {"cmpi.ne", ClassALU, 1, false, false, false, 0},
+	OpCmpLtI: {"cmpi.lt", ClassALU, 1, false, false, false, 0},
+	OpCmpLeI: {"cmpi.le", ClassALU, 1, false, false, false, 0},
+	OpLd1:    {"ld1", ClassMEM, 2, true, false, false, 1},
+	OpLd2:    {"ld2", ClassMEM, 2, true, false, false, 2},
+	OpLd4:    {"ld4", ClassMEM, 2, true, false, false, 4},
+	OpLdF:    {"ldf", ClassMEM, 2, true, false, false, 8},
+	OpSt1:    {"st1", ClassMEM, 1, false, true, false, 1},
+	OpSt2:    {"st2", ClassMEM, 1, false, true, false, 2},
+	OpSt4:    {"st4", ClassMEM, 1, false, true, false, 4},
+	OpStF:    {"stf", ClassMEM, 1, false, true, false, 8},
+	OpFAdd:   {"fadd", ClassFP, 4, false, false, false, 0},
+	OpFSub:   {"fsub", ClassFP, 4, false, false, false, 0},
+	OpFMul:   {"fmul", ClassFP, 4, false, false, false, 0},
+	OpFDiv:   {"fdiv", ClassFP, 20, false, false, false, 0},
+	OpFNeg:   {"fneg", ClassFP, 4, false, false, false, 0},
+	OpFCmpLt: {"fcmp.lt", ClassFP, 4, false, false, false, 0},
+	OpFCmpLe: {"fcmp.le", ClassFP, 4, false, false, false, 0},
+	OpFCmpEq: {"fcmp.eq", ClassFP, 4, false, false, false, 0},
+	OpI2F:    {"i2f", ClassFP, 4, false, false, false, 0},
+	OpF2I:    {"f2i", ClassFP, 4, false, false, false, 0},
+	OpBr:     {"br", ClassBR, 1, false, false, true, 0},
+	OpBrCall: {"br.call", ClassBR, 1, false, false, true, 0},
+	OpBrRet:  {"br.ret", ClassBR, 1, false, false, true, 0},
+	OpBrInd:  {"br.ind", ClassBR, 1, false, false, true, 0},
+	OpHalt:   {"halt", ClassBR, 1, false, false, false, 0},
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool { return op < numOps }
+
+// Name returns the assembly mnemonic.
+func (op Op) Name() string { return opTable[op].name }
+
+func (op Op) String() string { return opTable[op].name }
+
+// Class returns the functional-unit class.
+func (op Op) Class() FUClass { return opTable[op].class }
+
+// Latency returns the fixed execution latency in cycles. For loads this is
+// the compiler-assumed L1D hit latency; actual latency is determined by the
+// memory hierarchy at run time.
+func (op Op) Latency() int { return opTable[op].latency }
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return opTable[op].isLoad }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return opTable[op].isStore }
+
+// IsBranch reports whether op can redirect control flow.
+func (op Op) IsBranch() bool { return opTable[op].isBr }
+
+// MemSize returns the access width in bytes (0 for non-memory operations).
+func (op Op) MemSize() int { return opTable[op].memSize }

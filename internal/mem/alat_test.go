@@ -1,0 +1,102 @@
+package mem
+
+import "testing"
+
+func TestALATBasicConflict(t *testing.T) {
+	var a ALAT
+	a.Insert(10, 100, 4)
+	// An older store to an overlapping address invalidates the entry.
+	if n := a.StoreInvalidate(5, 102, 4); n != 1 {
+		t.Fatalf("StoreInvalidate = %d, want 1", n)
+	}
+	if a.CheckAndRemove(10) {
+		t.Errorf("conflicted load should fail its ALAT check")
+	}
+}
+
+func TestALATNoConflictCases(t *testing.T) {
+	var a ALAT
+	a.Insert(10, 100, 4)
+	// A younger store does not invalidate (program order not violated).
+	if n := a.StoreInvalidate(20, 100, 4); n != 0 {
+		t.Errorf("younger store invalidated entry")
+	}
+	// A disjoint older store does not invalidate.
+	if n := a.StoreInvalidate(5, 104, 4); n != 0 {
+		t.Errorf("disjoint store invalidated entry")
+	}
+	if !a.CheckAndRemove(10) {
+		t.Errorf("unconflicted load should pass its check")
+	}
+	// The check consumes the entry.
+	if a.CheckAndRemove(10) {
+		t.Errorf("second check of same load should fail (entry consumed)")
+	}
+}
+
+func TestALATByteGranularOverlap(t *testing.T) {
+	var a ALAT
+	a.Insert(10, 100, 1)
+	if n := a.StoreInvalidate(5, 100, 1); n != 1 {
+		t.Errorf("exact single-byte overlap missed")
+	}
+	a.Insert(11, 200, 4)
+	if n := a.StoreInvalidate(5, 203, 8); n != 1 {
+		t.Errorf("one-byte boundary overlap missed")
+	}
+	a.Insert(12, 300, 4)
+	if n := a.StoreInvalidate(5, 304, 4); n != 0 {
+		t.Errorf("adjacent non-overlap treated as conflict")
+	}
+}
+
+func TestALATFlushFrom(t *testing.T) {
+	var a ALAT
+	a.Insert(1, 0, 4)
+	a.Insert(2, 8, 4)
+	a.Insert(3, 16, 4)
+	a.FlushFrom(2)
+	if a.Len() != 1 {
+		t.Fatalf("Len after FlushFrom = %d", a.Len())
+	}
+	if !a.CheckAndRemove(1) {
+		t.Errorf("entry 1 should survive the flush")
+	}
+}
+
+func TestALATCapacityEvictions(t *testing.T) {
+	a := ALAT{Capacity: 2}
+	a.Insert(1, 0, 4)
+	a.Insert(2, 8, 4)
+	a.Insert(3, 16, 4) // evicts entry 1
+	if a.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", a.Evictions)
+	}
+	if a.CheckAndRemove(1) {
+		t.Errorf("evicted entry must look like a conflict (false positive)")
+	}
+	if !a.CheckAndRemove(2) || !a.CheckAndRemove(3) {
+		t.Errorf("surviving entries lost")
+	}
+}
+
+func TestALATPerfectUnbounded(t *testing.T) {
+	var a ALAT // Capacity 0: perfect
+	for i := uint64(1); i <= 1000; i++ {
+		a.Insert(i, uint32(i*64), 4)
+	}
+	if a.Evictions != 0 || a.Len() != 1000 {
+		t.Errorf("perfect ALAT evicted entries")
+	}
+}
+
+func TestALATInsertOrderPanics(t *testing.T) {
+	var a ALAT
+	a.Insert(5, 0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-order insert should panic")
+		}
+	}()
+	a.Insert(5, 4, 4)
+}

@@ -1,0 +1,245 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig() Config {
+	return Config{
+		L1I:            CacheConfig{SizeBytes: 1 << 10, Assoc: 2, LineBytes: 64, Latency: 2},
+		L1D:            CacheConfig{SizeBytes: 1 << 10, Assoc: 2, LineBytes: 64, Latency: 2},
+		L2:             CacheConfig{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 128, Latency: 5},
+		L3:             CacheConfig{SizeBytes: 16 << 10, Assoc: 4, LineBytes: 128, Latency: 15},
+		MemLatency:     145,
+		MaxOutstanding: 4,
+	}
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	c := DefaultConfig()
+	if c.L1D.SizeBytes != 16<<10 || c.L1D.Assoc != 4 || c.L1D.LineBytes != 64 || c.L1D.Latency != 2 {
+		t.Errorf("L1D config does not match Table 1: %+v", c.L1D)
+	}
+	if c.L2.SizeBytes != 256<<10 || c.L2.Assoc != 8 || c.L2.LineBytes != 128 || c.L2.Latency != 5 {
+		t.Errorf("L2 config does not match Table 1: %+v", c.L2)
+	}
+	if c.L3.SizeBytes != 1536<<10 || c.L3.Assoc != 12 || c.L3.LineBytes != 128 || c.L3.Latency != 15 {
+		t.Errorf("L3 config does not match Table 1: %+v", c.L3)
+	}
+	if c.MemLatency != 145 || c.MaxOutstanding != 16 {
+		t.Errorf("memory latency / outstanding loads do not match Table 1")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	lat, lvl := h.Load(0x1000, 0)
+	if lvl != LevelMem || lat != 145 {
+		t.Fatalf("cold load = %d cycles at %v, want 145 at Mem", lat, lvl)
+	}
+	// After the fill completes the line hits in L1.
+	lat, lvl = h.Load(0x1000, 200)
+	if lvl != LevelL1 || lat != 2 {
+		t.Errorf("warm load = %d cycles at %v, want 2 at L1", lat, lvl)
+	}
+	// A nearby address on the same 64B line also hits.
+	lat, lvl = h.Load(0x103F, 300)
+	if lvl != LevelL1 || lat != 2 {
+		t.Errorf("same-line load = %d at %v, want 2 at L1", lat, lvl)
+	}
+}
+
+func TestL2ServesAfterL1Eviction(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	// L1D: 1KB, 2-way, 64B lines -> 8 sets. Addresses 0x0, 0x200, 0x400
+	// map to set 0 and will exceed its 2 ways.
+	h.Load(0x0, 0)
+	h.Load(0x200, 200)
+	h.Load(0x400, 400) // evicts line 0x0 from L1
+	lat, lvl := h.Load(0x0, 600)
+	if lvl != LevelL2 || lat != 5 {
+		t.Errorf("evicted-from-L1 load = %d at %v, want 5 at L2", lat, lvl)
+	}
+}
+
+func TestMissMerging(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	lat1, _ := h.Load(0x2000, 0) // miss to memory, completes at 145
+	if lat1 != 145 {
+		t.Fatalf("first load latency = %d", lat1)
+	}
+	// A second load to the same line 100 cycles later merges and waits
+	// only the remaining 45 cycles.
+	lat2, lvl := h.Load(0x2010, 100)
+	if lat2 != 45 {
+		t.Errorf("merged load latency = %d, want 45", lat2)
+	}
+	if lvl != LevelMem {
+		t.Errorf("merged load attributed to %v, want the fill's origin (Mem)", lvl)
+	}
+	// Merging does not consume an extra MSHR.
+	if got := h.Outstanding(100); got != 1 {
+		t.Errorf("outstanding = %d, want 1", got)
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	h := NewHierarchy(smallConfig()) // MaxOutstanding: 4
+	addrs := []uint32{0x10000, 0x20000, 0x30000, 0x40000}
+	for i, a := range addrs {
+		if !h.CanAcceptLoad(a, 0) {
+			t.Fatalf("load %d rejected too early", i)
+		}
+		h.Load(a, 0)
+	}
+	if h.Outstanding(0) != 4 {
+		t.Fatalf("outstanding = %d, want 4", h.Outstanding(0))
+	}
+	// A fifth distinct-line load must be rejected...
+	if h.CanAcceptLoad(0x50000, 1) {
+		t.Errorf("fifth miss should be rejected with MSHRs full")
+	}
+	// ...but a load to an in-flight line is fine (merge)...
+	if !h.CanAcceptLoad(0x10020, 1) {
+		t.Errorf("merge to in-flight line should be accepted")
+	}
+	// ...and after the misses complete, slots free up.
+	if !h.CanAcceptLoad(0x50000, 200) {
+		t.Errorf("slots should free after completion")
+	}
+	if h.Outstanding(200) != 0 {
+		t.Errorf("outstanding after completion = %d", h.Outstanding(200))
+	}
+}
+
+func TestLoadPanicsWhenFullAndNotChecked(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	for _, a := range []uint32{0x10000, 0x20000, 0x30000, 0x40000} {
+		h.Load(a, 0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Load with full MSHRs should panic")
+		}
+	}()
+	h.Load(0x50000, 0)
+}
+
+func TestStoreAllocatesAndDirties(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	h.Store(0x3000, 0)
+	lat, lvl := h.Load(0x3000, 10)
+	if lvl != LevelL1 || lat != 2 {
+		t.Errorf("load after store-allocate = %d at %v, want L1 hit", lat, lvl)
+	}
+	// Evicting the dirty line produces a writeback.
+	h.Load(0x3000+0x200, 20)
+	h.Load(0x3000+0x400, 300)
+	if wb := h.Stats().L1D.Writebacks; wb != 1 {
+		t.Errorf("writebacks = %d, want 1", wb)
+	}
+}
+
+func TestFetchPath(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	lat, lvl := h.Fetch(0x8000, 0)
+	if lvl != LevelMem || lat != 145 {
+		t.Errorf("cold fetch = %d at %v, want 145 at Mem", lat, lvl)
+	}
+	lat, lvl = h.Fetch(0x8000, 200)
+	if lvl != LevelL1 || lat != 2 {
+		t.Errorf("warm fetch = %d at %v", lat, lvl)
+	}
+	// Instruction fetches never consume data MSHRs.
+	if h.Outstanding(0) != 0 {
+		t.Errorf("fetch consumed a data MSHR")
+	}
+	// I- and D-streams share the L2: a fetch of a line loaded as data
+	// hits in L2 even when absent from L1I. (Same 128B L2 line.)
+	h.Load(0x9000, 300)
+	lat, lvl = h.Fetch(0x9000, 600)
+	if lvl != LevelL2 {
+		t.Errorf("fetch after data load = %v, want L2 (shared)", lvl)
+	}
+	_ = lat
+}
+
+func TestServedStatsAccumulate(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	h.Load(0x1000, 0)
+	h.Load(0x1000, 200)
+	h.Load(0x1000, 300)
+	s := h.Stats()
+	if s.DataServed[LevelMem] != 1 || s.DataServed[LevelL1] != 2 {
+		t.Errorf("DataServed = %v", s.DataServed)
+	}
+}
+
+func TestLevelsAndStrings(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	lv := h.Levels()
+	if lv[LevelL1] != 2 || lv[LevelL2] != 5 || lv[LevelL3] != 15 || lv[LevelMem] != 145 {
+		t.Errorf("Levels() = %v", lv)
+	}
+	names := map[Level]string{LevelL1: "L1", LevelL2: "L2", LevelL3: "L3", LevelMem: "Mem"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q", l, l.String())
+		}
+	}
+	if h.LineBytesI() != 64 {
+		t.Errorf("LineBytesI = %d", h.LineBytesI())
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	bad := smallConfig()
+	bad.L1D.LineBytes = 48 // not a power of two
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid config should panic")
+		}
+	}()
+	NewHierarchy(bad)
+}
+
+// Property: repeating the same load after its fill completes always hits L1
+// with the L1 latency (inclusion + eager fill invariant).
+func TestRepeatLoadHitsProperty(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	now := int64(0)
+	f := func(addr uint32) bool {
+		if !h.CanAcceptLoad(addr, now) {
+			now += 200
+		}
+		lat, _ := h.Load(addr, now)
+		now += int64(lat) + 1
+		lat2, lvl2 := h.Load(addr, now)
+		now += int64(lat2) + 1
+		return lvl2 == LevelL1 && lat2 == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the serving level's reported latency always matches the
+// configured latency for that level (except merges).
+func TestLatencyMatchesLevelProperty(t *testing.T) {
+	cfg := smallConfig()
+	h := NewHierarchy(cfg)
+	want := map[Level]int{LevelL1: 2, LevelL2: 5, LevelL3: 15, LevelMem: 145}
+	now := int64(0)
+	f := func(addr uint32) bool {
+		now += 500 // let all misses drain so merging never applies
+		if !h.CanAcceptLoad(addr, now) {
+			return false
+		}
+		lat, lvl := h.Load(addr, now)
+		return lat == want[lvl]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package mem implements the memory subsystem: the functional backing store
+// (Image), the timing model of the cache hierarchy of Table 1 in the paper
+// (set-associative L1I/L1D/L2/L3 with LRU replacement and a main-memory
+// latency), a bounded pool of outstanding misses (the "Max Outstanding
+// Loads" MSHR limit) and the speculative store buffer used by the two-pass
+// A-pipe.
+package mem
+
+import "encoding/binary"
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Image is the functional (value-holding) memory: a sparse, paged, 32-bit
+// byte-addressable space. The zero value is an empty memory that reads as
+// zero. Timing is modelled separately by Hierarchy; caches hold no data.
+type Image struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewImage returns an empty memory image.
+func NewImage() *Image {
+	return &Image{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+// Clone returns a deep copy of the image.
+func (m *Image) Clone() *Image {
+	c := NewImage()
+	for k, p := range m.pages {
+		np := *p
+		c.pages[k] = &np
+	}
+	return c
+}
+
+func (m *Image) page(addr uint32, create bool) *[pageSize]byte {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[uint32]*[pageSize]byte)
+	}
+	k := addr >> pageBits
+	p := m.pages[k]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[k] = p
+	}
+	return p
+}
+
+// Byte returns the byte at addr.
+func (m *Image) Byte(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// SetByte stores b at addr.
+func (m *Image) SetByte(addr uint32, b byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = b
+}
+
+// Read returns size bytes starting at addr as a little-endian integer.
+// size must be 1, 2, 4 or 8. Accesses may cross page boundaries.
+func (m *Image) Read(addr uint32, size int) uint64 {
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = m.Byte(addr + uint32(i))
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *Image) Write(addr uint32, size int, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint32(i), buf[i])
+	}
+}
+
+// ReadU32 reads a 32-bit little-endian word.
+func (m *Image) ReadU32(addr uint32) uint32 { return uint32(m.Read(addr, 4)) }
+
+// WriteU32 writes a 32-bit little-endian word.
+func (m *Image) WriteU32(addr uint32, v uint32) { m.Write(addr, 4, uint64(v)) }
+
+// ReadF64 reads an 8-byte float.
+func (m *Image) ReadF64(addr uint32) uint64 { return m.Read(addr, 8) }
+
+// WriteF64 writes an 8-byte float (as raw bits).
+func (m *Image) WriteF64(addr uint32, bits uint64) { m.Write(addr, 8, bits) }
+
+// Equal reports whether two images hold identical contents.
+func (m *Image) Equal(o *Image) bool {
+	return m.subset(o) && o.subset(m)
+}
+
+// subset reports whether every nonzero byte of m matches o.
+func (m *Image) subset(o *Image) bool {
+	for k, p := range m.pages {
+		op := o.pages[k]
+		for i, b := range p {
+			var ob byte
+			if op != nil {
+				ob = op[i]
+			}
+			if b != ob {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FirstDifference returns the lowest address within pages present in either
+// image at which the two images differ, for test diagnostics. ok is false if
+// the images are equal.
+func (m *Image) FirstDifference(o *Image) (addr uint32, ok bool) {
+	seen := make(map[uint32]bool)
+	for k := range m.pages {
+		seen[k] = true
+	}
+	for k := range o.pages {
+		seen[k] = true
+	}
+	best := uint64(1 << 33)
+	for k := range seen {
+		base := k << pageBits
+		for i := 0; i < pageSize; i++ {
+			a := base + uint32(i)
+			if m.Byte(a) != o.Byte(a) && uint64(a) < best {
+				best = uint64(a)
+			}
+		}
+	}
+	if best == 1<<33 {
+		return 0, false
+	}
+	return uint32(best), true
+}

@@ -1,0 +1,653 @@
+package program
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/mem"
+)
+
+// Assemble parses the textual assembly language into a Program.
+//
+// Syntax, line-oriented ("//" and "#" start comments; ";;" at the end of an
+// instruction marks a stop bit, ending the issue group):
+//
+//	.text                    switch to text (default)
+//	.data ADDR               switch to data, cursor at ADDR
+//	.org ADDR                move the data cursor
+//	.word V, V, ...          emit 4-byte little-endian words
+//	.byte V, V, ...          emit bytes
+//	.float V, V, ...         emit 8-byte floats
+//	.space N                 advance the cursor N bytes (zero fill)
+//	.equ NAME V              define an integer constant
+//	.entry LABEL             set the entry point (default: first instruction)
+//
+//	label:                   text label (instruction index) or, in a data
+//	                         section, a constant naming the current cursor
+//	(pN) mnemonic operands   optionally predicated instruction
+//
+// Instruction forms:
+//
+//	add r1 = r2, r3          three-operand ALU (sub, and, or, xor, shl, ...)
+//	addi r1 = r2, 5          register-immediate ALU
+//	movi r1 = 99             load immediate (also: movi r1 = SYM, = @label)
+//	mov r1 = r2
+//	cmp.lt p1 = r2, r3       compares write a predicate (cmpi.* take imm)
+//	ld4 r1 = [r2]            loads; [r2, 8] adds a displacement
+//	st4 [r2] = r3            stores
+//	ldf f1 = [r2]            8-byte FP load/store
+//	fadd f1 = f2, f3         FP arithmetic; i2f f1 = r1; f2i r1 = f1
+//	br label                 branch ((pN) br label for conditional)
+//	br.call r63 = label      call, writing the return PC
+//	br.ret r63               return (indirect); br.ind r5
+//	halt                     stop the machine (must end its group)
+//	nop
+//
+// Immediate operands may be decimal or 0x-hex literals, .equ names, or
+// @label (the instruction index of a text label, for indirect branches).
+func Assemble(name, src string) (*Program, error) {
+	a := &assembler{
+		prog: &Program{
+			Name:   name,
+			Labels: make(map[string]int32),
+			Data:   mem.NewImage(),
+		},
+		equs:    make(map[string]int64),
+		entry:   "",
+		inData:  false,
+		dataPos: DataBase,
+	}
+	for i, line := range strings.Split(src, "\n") {
+		if err := a.line(line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, i+1, err)
+		}
+	}
+	if err := a.finish(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble panicking on error, for statically known sources
+// (workload kernels, tests).
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type fixup struct {
+	instIdx int
+	label   string
+	isImm   bool // patch Imm instead of Target
+}
+
+type assembler struct {
+	prog    *Program
+	equs    map[string]int64
+	fixups  []fixup
+	entry   string
+	inData  bool
+	dataPos uint32
+}
+
+func (a *assembler) line(raw string) error {
+	line := raw
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	stop := false
+	if i := strings.Index(line, ";;"); i >= 0 {
+		stop = true
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+
+	// Labels (possibly followed by an instruction on the same line).
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 || strings.ContainsAny(line[:i], " \t=[,(") {
+			break
+		}
+		label := line[:i]
+		if allDigits(label) {
+			// A line-number annotation as emitted by Dump; ignore it so
+			// Dump output reassembles.
+			line = strings.TrimSpace(line[i+1:])
+			continue
+		}
+		if !validIdent(label) {
+			return fmt.Errorf("invalid label %q", label)
+		}
+		if a.inData {
+			if _, dup := a.equs[label]; dup {
+				return fmt.Errorf("duplicate symbol %q", label)
+			}
+			a.equs[label] = int64(a.dataPos)
+		} else {
+			if _, dup := a.prog.Labels[label]; dup {
+				return fmt.Errorf("duplicate label %q", label)
+			}
+			a.prog.Labels[label] = int32(len(a.prog.Insts))
+		}
+		line = strings.TrimSpace(line[i+1:])
+	}
+	if line == "" {
+		if stop {
+			return a.markStop()
+		}
+		return nil
+	}
+	if strings.HasPrefix(line, ".") {
+		if stop {
+			return fmt.Errorf("stop bit on a directive")
+		}
+		return a.directive(line)
+	}
+	if err := a.inst(line); err != nil {
+		return err
+	}
+	if stop {
+		return a.markStop()
+	}
+	return nil
+}
+
+func (a *assembler) markStop() error {
+	if len(a.prog.Insts) == 0 {
+		return fmt.Errorf("stop bit before any instruction")
+	}
+	a.prog.Insts[len(a.prog.Insts)-1].Stop = true
+	return nil
+}
+
+func (a *assembler) directive(line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	dir := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+		if rest != "" {
+			v, err := a.intExpr(rest)
+			if err != nil {
+				return err
+			}
+			a.dataPos = uint32(v)
+		}
+	case ".org":
+		v, err := a.intExpr(rest)
+		if err != nil {
+			return err
+		}
+		a.dataPos = uint32(v)
+	case ".space":
+		v, err := a.intExpr(rest)
+		if err != nil {
+			return err
+		}
+		a.dataPos += uint32(v)
+	case ".word", ".byte", ".float":
+		if !a.inData {
+			return fmt.Errorf("%s outside a data section", dir)
+		}
+		for _, tok := range splitOperands(rest) {
+			switch dir {
+			case ".float":
+				f, err := strconv.ParseFloat(tok, 64)
+				if err != nil {
+					return fmt.Errorf("bad float %q", tok)
+				}
+				a.prog.Data.Write(a.dataPos, 8, math.Float64bits(f))
+				a.dataPos += 8
+			case ".word":
+				v, err := a.intExpr(tok)
+				if err != nil {
+					return err
+				}
+				a.prog.Data.Write(a.dataPos, 4, uint64(uint32(v)))
+				a.dataPos += 4
+			case ".byte":
+				v, err := a.intExpr(tok)
+				if err != nil {
+					return err
+				}
+				a.prog.Data.SetByte(a.dataPos, byte(v))
+				a.dataPos++
+			}
+		}
+	case ".equ":
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			return fmt.Errorf(".equ wants NAME VALUE")
+		}
+		if !validIdent(parts[0]) {
+			return fmt.Errorf("invalid .equ name %q", parts[0])
+		}
+		v, err := a.intExpr(parts[1])
+		if err != nil {
+			return err
+		}
+		a.equs[parts[0]] = v
+	case ".entry":
+		a.entry = rest
+	default:
+		return fmt.Errorf("unknown directive %q", dir)
+	}
+	return nil
+}
+
+func (a *assembler) inst(line string) error {
+	if a.inData {
+		return fmt.Errorf("instruction in data section")
+	}
+	in := isa.Inst{Pred: isa.P(0), Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+
+	// Qualifying predicate.
+	if strings.HasPrefix(line, "(") {
+		end := strings.Index(line, ")")
+		if end < 0 {
+			return fmt.Errorf("unterminated predicate")
+		}
+		r, ok := parseReg(strings.TrimSpace(line[1:end]))
+		if !ok || !r.IsPred() {
+			return fmt.Errorf("bad qualifying predicate %q", line[1:end])
+		}
+		in.Pred = r
+		line = strings.TrimSpace(line[end+1:])
+	}
+
+	mnem, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	op, ok := mnemonics[mnem]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	in.Op = op
+
+	lhs, rhs, hasEq := strings.Cut(rest, "=")
+	lhs, rhs = strings.TrimSpace(lhs), strings.TrimSpace(rhs)
+
+	fail := func() error { return fmt.Errorf("malformed %s instruction: %q", mnem, line) }
+
+	switch {
+	case op == isa.OpNop || op == isa.OpHalt:
+		if rest != "" {
+			return fail()
+		}
+	case op.IsLoad():
+		if !hasEq {
+			return fail()
+		}
+		d, ok := parseReg(lhs)
+		if !ok {
+			return fail()
+		}
+		base, disp, err := a.memOperand(rhs)
+		if err != nil {
+			return err
+		}
+		in.Dst, in.Src1, in.Imm = d, base, disp
+		if op == isa.OpLdF && !d.IsFP() || op != isa.OpLdF && !d.IsInt() {
+			return fmt.Errorf("%s destination must be %s register", mnem, loadKind(op))
+		}
+	case op.IsStore():
+		if !hasEq {
+			return fail()
+		}
+		base, disp, err := a.memOperand(lhs)
+		if err != nil {
+			return err
+		}
+		data, ok := parseReg(rhs)
+		if !ok {
+			return fail()
+		}
+		in.Src1, in.Src2, in.Imm = base, data, disp
+		if op == isa.OpStF && !data.IsFP() || op != isa.OpStF && !data.IsInt() {
+			return fmt.Errorf("%s data must be %s register", mnem, loadKind(op))
+		}
+	case op == isa.OpBr:
+		if hasEq || rest == "" {
+			return fail()
+		}
+		if err := a.branchTarget(&in, rest); err != nil {
+			return err
+		}
+	case op == isa.OpBrCall:
+		if !hasEq {
+			return fail()
+		}
+		d, ok := parseReg(lhs)
+		if !ok || !d.IsInt() {
+			return fail()
+		}
+		in.Dst = d
+		if err := a.branchTarget(&in, rhs); err != nil {
+			return err
+		}
+	case op == isa.OpBrRet || op == isa.OpBrInd:
+		r, ok := parseReg(rest)
+		if !ok || !r.IsInt() {
+			return fail()
+		}
+		in.Src1 = r
+	default: // register/immediate compute forms
+		if !hasEq {
+			return fail()
+		}
+		d, ok := parseReg(lhs)
+		if !ok {
+			return fail()
+		}
+		in.Dst = d
+		ops := splitOperands(rhs)
+		want2 := twoSource[op]
+		immForm := immediateForm[op]
+		switch {
+		case op == isa.OpMovI:
+			if len(ops) != 1 {
+				return fail()
+			}
+			// @label immediates may reference forward labels; resolve
+			// them as fixups.
+			if strings.HasPrefix(ops[0], "@") && validIdent(ops[0][1:]) {
+				a.fixups = append(a.fixups, fixup{len(a.prog.Insts), ops[0][1:], true})
+				break
+			}
+			v, err := a.intExpr(ops[0])
+			if err != nil {
+				return err
+			}
+			in.Imm = int32(v)
+		case op == isa.OpMov || op == isa.OpFNeg || op == isa.OpI2F || op == isa.OpF2I:
+			if len(ops) != 1 {
+				return fail()
+			}
+			s, ok := parseReg(ops[0])
+			if !ok {
+				return fail()
+			}
+			in.Src1 = s
+		case immForm:
+			if len(ops) != 2 {
+				return fail()
+			}
+			s, ok := parseReg(ops[0])
+			if !ok {
+				return fail()
+			}
+			v, err := a.intExpr(ops[1])
+			if err != nil {
+				return err
+			}
+			in.Src1, in.Imm = s, int32(v)
+		case want2:
+			if len(ops) != 2 {
+				return fail()
+			}
+			s1, ok1 := parseReg(ops[0])
+			s2, ok2 := parseReg(ops[1])
+			if !ok1 || !ok2 {
+				return fail()
+			}
+			in.Src1, in.Src2 = s1, s2
+		default:
+			return fail()
+		}
+		if err := checkOperandClasses(op, &in); err != nil {
+			return err
+		}
+	}
+	a.prog.Insts = append(a.prog.Insts, in)
+	return nil
+}
+
+func (a *assembler) finish() error {
+	for _, f := range a.fixups {
+		pc, ok := a.prog.Labels[f.label]
+		if !ok {
+			return fmt.Errorf("undefined label %q", f.label)
+		}
+		if f.isImm {
+			a.prog.Insts[f.instIdx].Imm = pc
+		} else {
+			a.prog.Insts[f.instIdx].Target = pc
+		}
+	}
+	if a.entry != "" {
+		pc, ok := a.prog.Labels[a.entry]
+		if !ok {
+			return fmt.Errorf("undefined entry label %q", a.entry)
+		}
+		a.prog.Entry = pc
+	}
+	if n := len(a.prog.Insts); n > 0 {
+		a.prog.Insts[n-1].Stop = true
+	}
+	return nil
+}
+
+// branchTarget resolves a branch destination: a label (fixed up at the end)
+// or an absolute instruction index written "@N" (as emitted by Dump).
+func (a *assembler) branchTarget(in *isa.Inst, s string) error {
+	if strings.HasPrefix(s, "@") {
+		if v, err := strconv.ParseInt(s[1:], 0, 32); err == nil {
+			in.Target = int32(v)
+			return nil
+		}
+	}
+	a.fixups = append(a.fixups, fixup{len(a.prog.Insts), s, false})
+	return nil
+}
+
+// memOperand parses "[rN]" or "[rN, disp]".
+func (a *assembler) memOperand(s string) (base isa.Reg, disp int32, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("malformed memory operand %q", s)
+	}
+	inner := splitOperands(s[1 : len(s)-1])
+	if len(inner) < 1 || len(inner) > 2 {
+		return 0, 0, fmt.Errorf("malformed memory operand %q", s)
+	}
+	base, ok := parseReg(inner[0])
+	if !ok || !base.IsInt() {
+		return 0, 0, fmt.Errorf("memory base must be an integer register: %q", s)
+	}
+	if len(inner) == 2 {
+		v, err := a.intExpr(inner[1])
+		if err != nil {
+			return 0, 0, err
+		}
+		disp = int32(v)
+	}
+	return base, disp, nil
+}
+
+// intExpr evaluates an integer literal, .equ constant, or @label reference.
+func (a *assembler) intExpr(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty integer expression")
+	}
+	if strings.HasPrefix(s, "@") {
+		if pc, ok := a.prog.Labels[s[1:]]; ok {
+			return int64(pc), nil
+		}
+		return 0, fmt.Errorf("@%s references an undefined (or forward) label", s[1:])
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, ok := a.equs[s]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("cannot evaluate %q as an integer", s)
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	if len(s) < 2 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	switch s[0] {
+	case 'r':
+		if n < isa.NumIntRegs {
+			return isa.R(n), true
+		}
+	case 'f':
+		if n < isa.NumFPRegs {
+			return isa.F(n), true
+		}
+	case 'p':
+		if n < isa.NumPredRegs {
+			return isa.P(n), true
+		}
+	}
+	return 0, false
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		digit := c >= '0' && c <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func loadKind(op isa.Op) string {
+	if op == isa.OpLdF || op == isa.OpStF {
+		return "a floating-point"
+	}
+	return "an integer"
+}
+
+// checkOperandClasses enforces int/fp/pred register classes per opcode.
+func checkOperandClasses(op isa.Op, in *isa.Inst) error {
+	wantFPSrc := false
+	wantFPDst := false
+	wantPredDst := false
+	switch op {
+	case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv, isa.OpFNeg:
+		wantFPSrc, wantFPDst = true, true
+	case isa.OpFCmpLt, isa.OpFCmpLe, isa.OpFCmpEq:
+		wantFPSrc, wantPredDst = true, true
+	case isa.OpI2F:
+		wantFPDst = true
+	case isa.OpF2I:
+		wantFPSrc = true
+	case isa.OpCmpEq, isa.OpCmpNe, isa.OpCmpLt, isa.OpCmpLe, isa.OpCmpLtU, isa.OpCmpLeU,
+		isa.OpCmpEqI, isa.OpCmpNeI, isa.OpCmpLtI, isa.OpCmpLeI:
+		wantPredDst = true
+	case isa.OpMov:
+		// mov copies within a class; classes must agree.
+		if in.Src1 != isa.RegNone && in.Dst != isa.RegNone &&
+			in.Src1.IsFP() != in.Dst.IsFP() {
+			return fmt.Errorf("mov cannot cross register classes (use i2f/f2i)")
+		}
+		return nil
+	}
+	for _, s := range []isa.Reg{in.Src1, in.Src2} {
+		if s == isa.RegNone {
+			continue
+		}
+		if wantFPSrc && !s.IsFP() || !wantFPSrc && s.IsFP() {
+			return fmt.Errorf("%s: source %s has wrong register class", op, s)
+		}
+	}
+	if in.Dst != isa.RegNone {
+		switch {
+		case wantPredDst && !in.Dst.IsPred():
+			return fmt.Errorf("%s: destination must be a predicate register", op)
+		case !wantPredDst && in.Dst.IsPred():
+			return fmt.Errorf("%s: destination cannot be a predicate register", op)
+		case wantFPDst && !in.Dst.IsFP():
+			return fmt.Errorf("%s: destination must be an fp register", op)
+		case !wantFPDst && !wantPredDst && in.Dst.IsFP():
+			return fmt.Errorf("%s: destination cannot be an fp register", op)
+		}
+	}
+	return nil
+}
+
+var mnemonics = map[string]isa.Op{}
+var twoSource = map[isa.Op]bool{}
+var immediateForm = map[isa.Op]bool{}
+
+func init() {
+	for op := isa.Op(0); op.Valid(); op++ {
+		mnemonics[op.Name()] = op
+	}
+	for _, op := range []isa.Op{
+		isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
+		isa.OpSar, isa.OpMul, isa.OpCmpEq, isa.OpCmpNe, isa.OpCmpLt, isa.OpCmpLe,
+		isa.OpCmpLtU, isa.OpCmpLeU, isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv,
+		isa.OpFCmpLt, isa.OpFCmpLe, isa.OpFCmpEq,
+	} {
+		twoSource[op] = true
+	}
+	for _, op := range []isa.Op{
+		isa.OpAddI, isa.OpAndI, isa.OpOrI, isa.OpXorI, isa.OpShlI, isa.OpShrI,
+		isa.OpSarI, isa.OpCmpEqI, isa.OpCmpNeI, isa.OpCmpLtI, isa.OpCmpLeI,
+	} {
+		immediateForm[op] = true
+	}
+}

@@ -1,0 +1,128 @@
+package program
+
+import (
+	"fmt"
+
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/mem"
+)
+
+// Builder constructs a Program instruction by instruction, resolving branch
+// labels lazily. It is the programmatic alternative to Assemble, used by the
+// random-program generator and by tests.
+type Builder struct {
+	name   string
+	insts  []isa.Inst
+	labels map[string]int32
+	fixups []fixup
+	data   *mem.Image
+	entry  string
+	errs   []error
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]int32),
+		data:   mem.NewImage(),
+	}
+}
+
+// Emit appends an instruction and returns its index. Zero-valued operand
+// fields should be isa.RegNone / isa.P(0) as appropriate; Emit normalizes a
+// zero Pred to P(0) so literal structs stay terse.
+func (b *Builder) Emit(in isa.Inst) int32 {
+	if !in.Pred.IsPred() { // raw zero value: treat as unpredicated
+		in.Pred = isa.P(0)
+	}
+	b.insts = append(b.insts, in)
+	return int32(len(b.insts) - 1)
+}
+
+// Label binds name to the next emitted instruction.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return
+	}
+	b.labels[name] = int32(len(b.insts))
+}
+
+// Br emits a branch (conditional if pred != P(0)) to a label.
+func (b *Builder) Br(pred isa.Reg, label string) {
+	idx := b.Emit(isa.Inst{Op: isa.OpBr, Pred: pred, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	b.fixups = append(b.fixups, fixup{int(idx), label, false})
+}
+
+// Call emits a call to label, writing the return PC to link.
+func (b *Builder) Call(link isa.Reg, label string) {
+	idx := b.Emit(isa.Inst{Op: isa.OpBrCall, Pred: isa.P(0), Dst: link, Src1: isa.RegNone, Src2: isa.RegNone})
+	b.fixups = append(b.fixups, fixup{int(idx), label, false})
+}
+
+// MovLabel emits `(pred) movi dst = @label`, resolving the label's
+// instruction index lazily (for building indirect-branch targets).
+func (b *Builder) MovLabel(pred, dst isa.Reg, label string) {
+	idx := b.Emit(isa.Inst{Op: isa.OpMovI, Pred: pred, Dst: dst, Src1: isa.RegNone, Src2: isa.RegNone})
+	b.fixups = append(b.fixups, fixup{int(idx), label, true})
+}
+
+// Stop sets the stop bit on the most recently emitted instruction.
+func (b *Builder) Stop() {
+	if len(b.insts) == 0 {
+		b.errs = append(b.errs, fmt.Errorf("Stop before any instruction"))
+		return
+	}
+	b.insts[len(b.insts)-1].Stop = true
+}
+
+// Halt emits a halt instruction (with its mandatory stop bit).
+func (b *Builder) Halt() {
+	b.Emit(isa.Inst{Op: isa.OpHalt, Pred: isa.P(0), Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, Stop: true})
+}
+
+// Data returns the program's initial memory image for direct population.
+func (b *Builder) Data() *mem.Image { return b.data }
+
+// SetEntry makes the program start at the given label.
+func (b *Builder) SetEntry(label string) { b.entry = label }
+
+// Build resolves fixups and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	p := &Program{Name: b.name, Insts: b.insts, Labels: b.labels, Data: b.data}
+	for _, f := range b.fixups {
+		pc, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", f.label)
+		}
+		if f.isImm {
+			p.Insts[f.instIdx].Imm = pc
+		} else {
+			p.Insts[f.instIdx].Target = pc
+		}
+	}
+	if b.entry != "" {
+		pc, ok := b.labels[b.entry]
+		if !ok {
+			return nil, fmt.Errorf("undefined entry label %q", b.entry)
+		}
+		p.Entry = pc
+	}
+	if n := len(p.Insts); n > 0 {
+		p.Insts[n-1].Stop = true
+	}
+	return p, nil
+}
+
+// MustBuild is Build panicking on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,441 @@
+// Package runahead implements the checkpoint-based run-ahead comparator the
+// paper's §2 "initial experiments" refer to — an idealized synthesis of the
+// mechanisms of Dundas (in-order runahead under a cache miss) and Mutlu
+// (runahead execution with checkpoint/restore). When the in-order pipeline
+// would stall on the consumer of an outstanding load, the machine
+// checkpoints its register state and keeps executing speculatively:
+// instructions depending on the missing value are poisoned; loads with valid
+// addresses access the memory hierarchy (the prefetching benefit); stores
+// write nothing. When the blocking load returns, the checkpoint is restored
+// and execution resumes at the stalled group.
+//
+// Unlike two-pass pipelining, all run-ahead results are discarded — only the
+// cache and branch-predictor warming survives — which is the paper's central
+// contrast.
+package runahead
+
+import (
+	"fmt"
+
+	"fleaflicker/internal/arch"
+	"fleaflicker/internal/bpred"
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/pipeline"
+	"fleaflicker/internal/program"
+	"fleaflicker/internal/stats"
+)
+
+// Config parameterizes the machine.
+type Config struct {
+	Front      pipeline.Config
+	Mem        mem.Config
+	Bpred      bpred.Config
+	IssueWidth int
+	FUs        [isa.NumFUClasses]int
+	// ExitPenalty is the number of cycles charged when leaving run-ahead
+	// mode (checkpoint restore). 0 models the idealized mechanism (the
+	// front-end refill is still paid).
+	ExitPenalty int
+	// MinStallCycles gates entry: run-ahead begins only when the
+	// remaining stall exceeds this many cycles, since each episode costs
+	// a front-end refill at exit. Dundas entered on every L1 miss; the
+	// default only chases stalls longer than the refill.
+	MinStallCycles int
+	MaxCycles      int64
+}
+
+// DefaultConfig returns the idealized run-ahead machine on the Table 1
+// substrate.
+func DefaultConfig() Config {
+	return Config{
+		Front:          pipeline.DefaultConfig(),
+		Mem:            mem.DefaultConfig(),
+		Bpred:          bpred.DefaultConfig(),
+		IssueWidth:     8,
+		FUs:            [isa.NumFUClasses]int{isa.ClassALU: 5, isa.ClassMEM: 3, isa.ClassFP: 3, isa.ClassBR: 3},
+		MinStallCycles: 8,
+		MaxCycles:      2_000_000_000,
+	}
+}
+
+// Machine is one run-ahead simulation instance.
+type Machine struct {
+	cfg  Config
+	prog *program.Program
+	fe   *pipeline.FrontEnd
+	hier *mem.Hierarchy
+	st   *arch.State
+
+	ready        [isa.NumRegs]int64
+	loadProducer [isa.NumRegs]bool
+
+	// Run-ahead mode state.
+	inRunahead bool
+	exitAt     int64 // when the blocking load completes
+	resumePC   int32
+	raRegs     [isa.NumRegs]isa.Value // speculative register copy
+	raPoison   [isa.NumRegs]bool
+	raReady    [isa.NumRegs]int64
+
+	now    int64
+	halted bool
+	run    stats.Run
+	// RunaheadEntries/RunaheadInsts count run-ahead activity.
+	RunaheadEntries int64
+	RunaheadInsts   int64
+}
+
+// New builds a machine over a fresh copy of the program's memory.
+func New(cfg Config, prog *program.Program) (*Machine, error) {
+	if err := prog.Validate(cfg.IssueWidth, cfg.FUs); err != nil {
+		return nil, fmt.Errorf("runahead: %w", err)
+	}
+	hier := mem.NewHierarchy(cfg.Mem)
+	m := &Machine{
+		cfg:  cfg,
+		prog: prog,
+		fe:   pipeline.NewFrontEnd(cfg.Front, prog, hier, bpred.New(cfg.Bpred)),
+		hier: hier,
+		st:   arch.NewState(prog.InitialImage()),
+	}
+	m.run.Benchmark = prog.Name
+	m.run.Model = "runahead"
+	return m, nil
+}
+
+// State exposes the architectural state.
+func (m *Machine) State() *arch.State { return m.st }
+
+// Run simulates to completion.
+func (m *Machine) Run() (*stats.Run, error) {
+	for !m.halted {
+		if m.now >= m.cfg.MaxCycles {
+			return nil, fmt.Errorf("runahead: %q exceeded %d cycles", m.prog.Name, m.cfg.MaxCycles)
+		}
+		m.fe.Tick(m.now)
+		if m.inRunahead {
+			m.stepRunahead()
+		} else {
+			m.stepNormal()
+		}
+		m.now++
+	}
+	m.run.Cycles = m.now
+	m.run.Mem = m.hier.Stats()
+	if err := m.run.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	r := m.run
+	return &r, nil
+}
+
+// stepNormal is the baseline in-order dispatch, except that a load-dependent
+// stall triggers entry into run-ahead mode.
+func (m *Machine) stepNormal() {
+	g := m.fe.Head(m.now)
+	if g == nil {
+		m.run.ByClass[stats.FrontEndStall]++
+		return
+	}
+	cls, until, blocked := m.groupBlocked(g)
+	if blocked {
+		m.run.ByClass[cls]++
+		if cls == stats.LoadStall && until-m.now > int64(m.cfg.MinStallCycles) {
+			m.enterRunahead(g, until)
+		}
+		return
+	}
+	m.fe.Pop()
+	m.dispatch(g)
+	m.run.ByClass[stats.Unstalled]++
+}
+
+// enterRunahead checkpoints architectural register state and begins
+// speculative pre-execution. The stall cycles continue to be charged as load
+// stalls (the architectural pipe is still blocked); run-ahead merely warms
+// the caches underneath them.
+func (m *Machine) enterRunahead(g *pipeline.Group, until int64) {
+	m.RunaheadEntries++
+	m.inRunahead = true
+	m.exitAt = until
+	m.resumePC = g.FetchPC
+	copy(m.raRegs[:], m.st.Regs[:])
+	for r := range m.raPoison {
+		m.raPoison[r] = false
+		m.raReady[r] = m.ready[r]
+	}
+	m.fe.Pop() // consume the stalled group into run-ahead execution
+	m.runaheadGroup(g)
+}
+
+// stepRunahead executes one cycle of run-ahead mode.
+func (m *Machine) stepRunahead() {
+	m.run.ByClass[stats.LoadStall]++ // the architectural pipe is stalled
+	if m.now >= m.exitAt {
+		m.exitRunahead()
+		return
+	}
+	if g := m.fe.Head(m.now); g != nil {
+		m.fe.Pop()
+		m.runaheadGroup(g)
+	}
+}
+
+// exitRunahead restores the checkpoint and redirects fetch to the stalled
+// group.
+func (m *Machine) exitRunahead() {
+	m.inRunahead = false
+	m.fe.Redirect(m.resumePC, m.now+int64(m.cfg.ExitPenalty))
+}
+
+// runaheadGroup pre-executes one issue group speculatively: poisoned or
+// unready operands poison destinations; loads prefetch; stores and all
+// register results are discarded at exit.
+func (m *Machine) runaheadGroup(g *pipeline.Group) {
+	for _, d := range g.Insts {
+		in := d.In
+		m.RunaheadInsts++
+		pv, pok := m.raRead(in.Pred)
+		if !pok {
+			m.raPoisonDst(in.Dst)
+			continue
+		}
+		if pv == 0 {
+			if in.Op.IsBranch() {
+				m.runaheadBranch(d, false)
+			}
+			continue
+		}
+		switch {
+		case in.Op == isa.OpNop:
+		case in.Op == isa.OpHalt:
+			// Wrong-path or real halt: stop run-ahead fetch; the
+			// checkpoint restore will sort it out.
+			return
+		case in.Op.IsLoad():
+			base, ok := m.raRead(in.Src1)
+			if !ok {
+				m.raPoisonDst(in.Dst)
+				continue
+			}
+			addr := isa.EffectiveAddress(base, in.Imm)
+			if !m.hier.CanAcceptLoad(addr, m.now) {
+				m.raPoisonDst(in.Dst)
+				continue
+			}
+			lat, lvl := m.hier.Load(addr, m.now) // the prefetch
+			m.run.RecordAccess(lvl, stats.PipeA, m.hier.Levels())
+			if int64(lat) > int64(m.cfg.Mem.L1D.Latency) {
+				// The value would not return within run-ahead reach;
+				// Dundas/Mutlu poison such destinations.
+				m.raPoisonDst(in.Dst)
+				continue
+			}
+			m.raWrite(in.Dst, m.st.Mem.Read(addr, in.Op.MemSize()), m.now+int64(lat))
+		case in.Op.IsStore():
+			// Stores write nothing in run-ahead mode.
+		case in.Op.IsBranch():
+			if in.Op == isa.OpBrRet || in.Op == isa.OpBrInd {
+				if _, ok := m.raRead(in.Src1); !ok {
+					return // cannot follow an unknown target; stop here
+				}
+			}
+			if m.runaheadBranch(d, true) {
+				return
+			}
+		default:
+			v1, ok1 := m.raRead(in.Src1)
+			v2, ok2 := m.raRead(in.Src2)
+			if !ok1 || !ok2 {
+				m.raPoisonDst(in.Dst)
+				continue
+			}
+			m.raWrite(in.Dst, isa.Eval(in.Op, v1, v2, in.Imm), m.now+int64(in.Op.Latency()))
+		}
+	}
+}
+
+// runaheadBranch resolves a branch speculatively during run-ahead and
+// redirects run-ahead fetch on a misprediction (without predictor training —
+// the architectural pass will train it).
+func (m *Machine) runaheadBranch(d *pipeline.DynInst, predOn bool) (squash bool) {
+	in := d.In
+	taken := false
+	target := d.PC + 1
+	if predOn {
+		switch in.Op {
+		case isa.OpBr, isa.OpBrCall:
+			taken, target = true, in.Target
+			if in.Op == isa.OpBrCall {
+				m.raWrite(in.Dst, isa.Value(uint32(d.PC+1)), m.now+1)
+			}
+		case isa.OpBrRet, isa.OpBrInd:
+			v, _ := m.raRead(in.Src1)
+			taken = true
+			target = int32(uint32(v))
+		}
+	}
+	actualNext := d.PC + 1
+	if taken {
+		actualNext = target
+	}
+	if actualNext == d.NextPC && !d.NoPrediction {
+		return false
+	}
+	m.fe.Redirect(actualNext, m.now+pipeline.DETOffset)
+	return true
+}
+
+func (m *Machine) raRead(r isa.Reg) (isa.Value, bool) {
+	if r == isa.RegNone || r.Hardwired() {
+		return isa.HardwiredValue(r), true
+	}
+	if m.raPoison[r] || m.raReady[r] > m.now {
+		return 0, false
+	}
+	return m.raRegs[r], true
+}
+
+func (m *Machine) raWrite(r isa.Reg, v isa.Value, readyAt int64) {
+	if r == isa.RegNone || r.Hardwired() {
+		return
+	}
+	m.raRegs[r] = v
+	m.raPoison[r] = false
+	m.raReady[r] = readyAt
+}
+
+func (m *Machine) raPoisonDst(r isa.Reg) {
+	if r == isa.RegNone || r.Hardwired() {
+		return
+	}
+	m.raPoison[r] = true
+}
+
+// groupBlocked mirrors the baseline REG-stage interlocks and additionally
+// reports when the blockage clears.
+func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, int64, bool) {
+	blockedUntil := int64(-1)
+	blockedByLoad := false
+	consider := func(r isa.Reg) {
+		if r == isa.RegNone || r.Hardwired() {
+			return
+		}
+		if t := m.ready[r]; t > m.now && t > blockedUntil {
+			blockedUntil = t
+			blockedByLoad = m.loadProducer[r]
+		}
+	}
+	var srcs []isa.Reg
+	for _, d := range g.Insts {
+		srcs = d.In.Sources(srcs[:0])
+		for _, s := range srcs {
+			consider(s)
+		}
+		if d.In.HasDest() {
+			consider(d.In.Dst)
+		}
+	}
+	if blockedUntil > m.now {
+		if blockedByLoad {
+			return stats.LoadStall, blockedUntil, true
+		}
+		return stats.NonLoadDepStall, blockedUntil, true
+	}
+	var addrs []uint32
+	for _, d := range g.Insts {
+		if !d.In.Op.IsLoad() || m.st.Read(d.In.Pred) == 0 {
+			continue
+		}
+		addrs = append(addrs, isa.EffectiveAddress(m.st.Read(d.In.Src1), d.In.Imm))
+	}
+	if len(addrs) > 0 && !m.hier.CanAcceptLoads(addrs, m.now) {
+		return stats.ResourceStall, m.now + 1, true
+	}
+	return 0, 0, false
+}
+
+// dispatch is the architectural (non-speculative) group execution, identical
+// to the baseline machine's.
+func (m *Machine) dispatch(g *pipeline.Group) {
+	for _, d := range g.Insts {
+		in := d.In
+		m.run.Instructions++
+		predOn := m.st.Read(in.Pred) != 0
+		if in.Op.IsBranch() || in.Op == isa.OpHalt {
+			if m.resolveBranch(d, predOn) {
+				return
+			}
+			continue
+		}
+		if !predOn {
+			continue
+		}
+		switch {
+		case in.Op == isa.OpNop:
+		case in.Op.IsLoad():
+			addr := isa.EffectiveAddress(m.st.Read(in.Src1), in.Imm)
+			lat, lvl := m.hier.Load(addr, m.now)
+			m.run.RecordAccess(lvl, stats.PipeA, m.hier.Levels())
+			m.st.Write(in.Dst, m.st.Mem.Read(addr, in.Op.MemSize()))
+			m.setReady(in.Dst, m.now+int64(lat), true)
+		case in.Op.IsStore():
+			addr := isa.EffectiveAddress(m.st.Read(in.Src1), in.Imm)
+			m.st.Mem.Write(addr, in.Op.MemSize(), m.st.Read(in.Src2))
+			m.hier.Store(addr, m.now)
+			m.run.StoresTotal++
+		default:
+			m.st.Write(in.Dst, isa.Eval(in.Op, m.st.Read(in.Src1), m.st.Read(in.Src2), in.Imm))
+			m.setReady(in.Dst, m.now+int64(in.Op.Latency()), false)
+		}
+	}
+}
+
+func (m *Machine) setReady(r isa.Reg, at int64, fromLoad bool) {
+	if r == isa.RegNone || r.Hardwired() {
+		return
+	}
+	m.ready[r] = at
+	m.loadProducer[r] = fromLoad
+}
+
+func (m *Machine) resolveBranch(d *pipeline.DynInst, predOn bool) (squash bool) {
+	in := d.In
+	if in.Op == isa.OpHalt {
+		m.halted = true
+		return true
+	}
+	taken := false
+	target := d.PC + 1
+	if predOn {
+		switch in.Op {
+		case isa.OpBr, isa.OpBrCall:
+			taken, target = true, in.Target
+			if in.Op == isa.OpBrCall {
+				m.st.Write(in.Dst, isa.Value(uint32(d.PC+1)))
+				m.setReady(in.Dst, m.now+1, false)
+			}
+		case isa.OpBrRet, isa.OpBrInd:
+			taken = true
+			target = int32(uint32(m.st.Read(in.Src1)))
+		}
+	}
+	actualNext := d.PC + 1
+	if taken {
+		actualNext = target
+	}
+	pred := m.fe.Predictor()
+	if d.HasCP {
+		pred.Resolve(d.PC, d.CP, d.PredTaken, taken)
+	}
+	if taken && (in.Op == isa.OpBrRet || in.Op == isa.OpBrInd) {
+		pred.UpdateIndirect(d.PC, target)
+	}
+	if actualNext == d.NextPC && !d.NoPrediction {
+		return false
+	}
+	m.run.MispredictsA++
+	m.fe.Redirect(actualNext, m.now+pipeline.DETOffset)
+	return true
+}

@@ -1,0 +1,341 @@
+package sched
+
+import (
+	"fmt"
+
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/program"
+)
+
+// IfConvertStats summarizes an if-conversion pass.
+type IfConvertStats struct {
+	Converted       int // hammocks converted (branches removed)
+	Diamonds        int // of which full if/else diamonds
+	PredicatedInsts int // instructions that became predicated
+	// FreshPredicates lists the previously-unused predicate registers the
+	// pass claimed for complements; they are new architectural state the
+	// original program never writes.
+	FreshPredicates []isa.Reg
+}
+
+// IfConvert is a hyperblock-style if-conversion pass in the spirit of the
+// paper's IMPACT compiler: short forward-branch hammocks
+//
+//	     cmp.xx p = a, b
+//	     (p) br join
+//	     <a few unpredicated, branch-free instructions>
+//	join:
+//
+// are rewritten by inserting an inverted compare into a fresh predicate
+// register next to the original and predicating the hammock body on it,
+// then deleting the branch. Predication is central to the paper's EPIC
+// argument: converted code trades a branch (whose misprediction may resolve
+// expensively at B-DET on the two-pass machine) for predicated instructions
+// that need no control speculation at all.
+//
+// The original predicate and compare are left untouched, so no other reader
+// anywhere in the program is affected. A hammock converts only when:
+//   - the branch is conditional, forward, and its body has at most maxBody
+//     instructions, all unpredicated and branch/halt-free;
+//   - the predicate's defining compare is an unpredicated, invertible
+//     integer register compare in the same straight-line run (immediates
+//     lack reversed forms; floating-point inversion is unsound under NaN);
+//   - no branch targets the interior of (definition, join), so every
+//     execution of the body passes through the inserted complement;
+//   - a predicate register unused anywhere in the program is available.
+//
+// Programs containing br.ind are rejected for the same reason as Schedule.
+func IfConvert(p *program.Program, maxBody int) (*program.Program, *IfConvertStats, error) {
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.OpBrInd {
+			return nil, nil, fmt.Errorf("sched: if-conversion cannot remap br.ind targets (program %q)", p.Name)
+		}
+	}
+	st := &IfConvertStats{}
+	insts := p.Insts
+
+	isTarget := make([]bool, len(insts)+1)
+	for i := range insts {
+		in := &insts[i]
+		if in.Op.IsBranch() && in.Op != isa.OpBrRet {
+			isTarget[in.Target] = true
+		}
+	}
+	isTarget[p.Entry] = true
+
+	freePreds := unusedPredicates(insts)
+
+	// targetCount[t] counts branches targeting t, to verify single-entry
+	// else-regions in diamonds.
+	targetCount := make(map[int32]int)
+	for i := range insts {
+		in := &insts[i]
+		if in.Op.IsBranch() && in.Op != isa.OpBrRet {
+			targetCount[in.Target]++
+		}
+	}
+
+	// Plan conversions: dropBranch marks deleted branches; cloneAfter[def]
+	// holds inverted compares to insert immediately after their original;
+	// regions lists the [from, to) half-open ranges to predicate.
+	dropBranch := make([]bool, len(insts))
+	cloneAfter := make(map[int][]isa.Inst)
+	type region struct {
+		from, to int
+		pred     isa.Reg
+	}
+	var regions []region
+
+	for i := range insts {
+		br := &insts[i]
+		if br.Op != isa.OpBr || br.Pred == isa.P(0) || dropBranch[i] {
+			continue
+		}
+		if len(freePreds) == 0 {
+			break
+		}
+		l1 := int(br.Target)
+		if l1 <= i+1 {
+			continue
+		}
+		def := findDef(insts, i, br.Pred)
+		if def < 0 {
+			continue
+		}
+		inv, ok := invertCompare(insts[def])
+		if !ok {
+			continue
+		}
+
+		// Try the plain hammock first: (p) br join; A...; join:
+		if l1-i-1 <= maxBody &&
+			bodyConvertible(insts, i+1, l1) &&
+			!interiorTargeted(isTarget, def+1, l1) {
+			pNew := claimPred(&freePreds, st)
+			inv.Dst = pNew
+			inv.Stop = false
+			cloneAfter[def] = append(cloneAfter[def], inv)
+			dropBranch[i] = true
+			regions = append(regions, region{i + 1, l1, pNew})
+			st.Converted++
+			st.PredicatedInsts += l1 - i - 1
+			continue
+		}
+
+		// Full diamond: (p) br L1; A...; br L2; L1: B...; L2:
+		// A executes under ¬p, B under the original p.
+		j := l1 - 1 // the then-side's terminating jump
+		if j <= i || insts[j].Op != isa.OpBr || insts[j].Pred != isa.P(0) || dropBranch[j] {
+			continue
+		}
+		l2 := int(insts[j].Target)
+		if l2 <= l1 || j-i-1 > maxBody || l2-l1 > maxBody {
+			continue
+		}
+		if !bodyConvertible(insts, i+1, j) || !bodyConvertible(insts, l1, l2) {
+			continue
+		}
+		// Both arms must be single-entry: nothing else may branch into
+		// (def, L2) — the only permitted interior target is L1, reached
+		// solely by this conversion's own branch.
+		if targetCount[int32(l1)] != 1 {
+			continue
+		}
+		if e := int(p.Entry); e > def && e < l2 {
+			continue
+		}
+		interior := false
+		for k := def + 1; k < l2; k++ {
+			if k != l1 && isTarget[k] {
+				interior = true
+				break
+			}
+		}
+		if interior {
+			continue
+		}
+		pNew := claimPred(&freePreds, st)
+		inv.Dst = pNew
+		inv.Stop = false
+		cloneAfter[def] = append(cloneAfter[def], inv)
+		dropBranch[i] = true
+		dropBranch[j] = true
+		regions = append(regions, region{i + 1, j, pNew})
+		regions = append(regions, region{l1, l2, br.Pred})
+		st.Converted++
+		st.Diamonds++
+		st.PredicatedInsts += (j - i - 1) + (l2 - l1)
+	}
+	if st.Converted == 0 {
+		out := *p
+		out.Insts = append([]isa.Inst(nil), insts...)
+		return &out, st, nil
+	}
+
+	// Rebuild: apply body predication, drop branches, insert clones, and
+	// remap every positional reference.
+	predicateUnder := make([]isa.Reg, len(insts)) // body index -> qualifying pred
+	for i := range predicateUnder {
+		predicateUnder[i] = isa.RegNone
+	}
+	for _, reg := range regions {
+		for k := reg.from; k < reg.to; k++ {
+			if !dropBranch[k] {
+				predicateUnder[k] = reg.pred
+			}
+		}
+	}
+
+	out := &program.Program{Name: p.Name, Labels: make(map[string]int32, len(p.Labels)), Data: p.Data}
+	newIdx := make([]int32, len(insts)+1)
+	for i := range insts {
+		newIdx[i] = int32(len(out.Insts))
+		if dropBranch[i] {
+			// Preserve the deleted branch's stop bit on its predecessor
+			// so issue groups do not illegally merge across it.
+			if insts[i].Stop && len(out.Insts) > 0 {
+				out.Insts[len(out.Insts)-1].Stop = true
+			}
+			continue
+		}
+		in := insts[i]
+		if q := predicateUnder[i]; q != isa.RegNone {
+			in.Pred = q
+		}
+		out.Insts = append(out.Insts, in)
+		if clones := cloneAfter[i]; len(clones) > 0 {
+			// Each clone forms its own issue group, and the original's
+			// group is cut at the original (splitting groups is always
+			// legal and never oversubscribes resources); the scheduler
+			// re-densifies afterwards.
+			out.Insts[len(out.Insts)-1].Stop = true
+			for _, clone := range clones {
+				clone.Stop = true
+				out.Insts = append(out.Insts, clone)
+			}
+		}
+	}
+	newIdx[len(insts)] = int32(len(out.Insts))
+	for i := range out.Insts {
+		in := &out.Insts[i]
+		if in.Op.IsBranch() && in.Op != isa.OpBrRet && in.Op != isa.OpBrInd {
+			in.Target = newIdx[in.Target]
+		}
+	}
+	for name, l := range p.Labels {
+		out.Labels[name] = newIdx[l]
+	}
+	out.Entry = newIdx[p.Entry]
+	if n := len(out.Insts); n > 0 {
+		out.Insts[n-1].Stop = true
+	}
+	return out, st, nil
+}
+
+// claimPred pops a fresh predicate register and records it.
+func claimPred(free *[]isa.Reg, st *IfConvertStats) isa.Reg {
+	p := (*free)[len(*free)-1]
+	*free = (*free)[:len(*free)-1]
+	st.FreshPredicates = append(st.FreshPredicates, p)
+	return p
+}
+
+// unusedPredicates returns the predicate registers never referenced by the
+// program (candidates for the inserted complements).
+func unusedPredicates(insts []isa.Inst) []isa.Reg {
+	used := make(map[isa.Reg]bool)
+	var srcs []isa.Reg
+	for i := range insts {
+		in := &insts[i]
+		used[in.Pred] = true
+		if in.HasDest() {
+			used[in.Dst] = true
+		}
+		srcs = in.Sources(srcs[:0])
+		for _, s := range srcs {
+			used[s] = true
+		}
+	}
+	var free []isa.Reg
+	for i := 1; i < isa.NumPredRegs; i++ {
+		if !used[isa.P(i)] {
+			free = append(free, isa.P(i))
+		}
+	}
+	return free
+}
+
+// bodyConvertible checks the hammock body [start, end).
+func bodyConvertible(insts []isa.Inst, start, end int) bool {
+	if end > len(insts) {
+		return false
+	}
+	for k := start; k < end; k++ {
+		in := &insts[k]
+		if in.Op.IsBranch() || in.Op == isa.OpHalt || in.Pred != isa.P(0) {
+			return false
+		}
+	}
+	return true
+}
+
+// findDef locates the predicate's defining compare: the nearest earlier
+// write in the same straight-line run (crossing no control-flow
+// instruction, which could make the definition non-dominating).
+func findDef(insts []isa.Inst, branch int, pred isa.Reg) int {
+	for k := branch - 1; k >= 0; k-- {
+		in := &insts[k]
+		if in.HasDest() && in.Dst == pred {
+			if in.Pred != isa.P(0) {
+				return -1
+			}
+			return k
+		}
+		if in.Op.IsBranch() || in.Op == isa.OpHalt {
+			return -1
+		}
+	}
+	return -1
+}
+
+// interiorTargeted reports whether any branch lands strictly inside
+// (from, to) — which would let control reach the body without passing the
+// inserted complement.
+func interiorTargeted(isTarget []bool, from, to int) bool {
+	for k := from; k < to; k++ {
+		if isTarget[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// invertCompare returns the logical complement of a compare instruction.
+func invertCompare(in isa.Inst) (isa.Inst, bool) {
+	out := in
+	switch in.Op {
+	case isa.OpCmpEq:
+		out.Op = isa.OpCmpNe
+	case isa.OpCmpNe:
+		out.Op = isa.OpCmpEq
+	case isa.OpCmpEqI:
+		out.Op = isa.OpCmpNeI
+	case isa.OpCmpNeI:
+		out.Op = isa.OpCmpEqI
+	case isa.OpCmpLt: // ¬(a<b) ⟺ b≤a
+		out.Op = isa.OpCmpLe
+		out.Src1, out.Src2 = in.Src2, in.Src1
+	case isa.OpCmpLe:
+		out.Op = isa.OpCmpLt
+		out.Src1, out.Src2 = in.Src2, in.Src1
+	case isa.OpCmpLtU:
+		out.Op = isa.OpCmpLeU
+		out.Src1, out.Src2 = in.Src2, in.Src1
+	case isa.OpCmpLeU:
+		out.Op = isa.OpCmpLtU
+		out.Src1, out.Src2 = in.Src2, in.Src1
+	default:
+		return in, false
+	}
+	return out, true
+}

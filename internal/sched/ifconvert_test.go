@@ -1,0 +1,304 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fleaflicker/internal/arch"
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/program"
+)
+
+func TestIfConvertBasicHammock(t *testing.T) {
+	p := program.MustAssemble("hammock", `
+        movi r1 = 5
+        movi r2 = 9 ;;
+        cmp.lt p1 = r1, r2 ;;
+        (p1) br join ;;
+        addi r3 = r3, 1 ;;
+        xori r4 = r4, 7 ;;
+join:   movi r5 = 2 ;;
+        halt ;;
+`)
+	out, st, err := IfConvert(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Converted != 1 || st.PredicatedInsts != 2 {
+		t.Fatalf("stats = %+v, want 1 conversion of 2 insts:\n%s", st, out.Dump())
+	}
+	for i := range out.Insts {
+		if out.Insts[i].Op == isa.OpBr {
+			t.Errorf("branch survived conversion:\n%s", out.Dump())
+		}
+	}
+	// The body must now be predicated on a fresh predicate, and an
+	// inverted compare (cmp.le with swapped operands) must exist.
+	sawInv := false
+	for i := range out.Insts {
+		in := &out.Insts[i]
+		if in.Op == isa.OpCmpLe && in.Src1 == isa.R(2) && in.Src2 == isa.R(1) {
+			sawInv = true
+		}
+		if in.Op == isa.OpAddI && in.Dst == isa.R(3) && in.Pred == isa.P(0) {
+			t.Errorf("body instruction not predicated:\n%s", out.Dump())
+		}
+	}
+	if !sawInv {
+		t.Errorf("inverted compare missing:\n%s", out.Dump())
+	}
+	// Semantics preserved (branch taken: body skipped -> r3 stays 0).
+	ref := arch.MustRun(p, 1000)
+	got := arch.MustRun(out, 1000)
+	if !ref.State.Equal(got.State) {
+		t.Fatalf("if-conversion changed semantics: %s", ref.State.Diff(got.State))
+	}
+}
+
+func TestIfConvertBothDirections(t *testing.T) {
+	// Run with the branch not taken (body executes) and ensure the
+	// predicated body still executes.
+	p := program.MustAssemble("nottaken", `
+        movi r1 = 9
+        movi r2 = 5 ;;
+        cmp.lt p1 = r1, r2 ;;
+        (p1) br join ;;
+        addi r3 = r3, 1 ;;
+join:   halt ;;
+`)
+	out, st, err := IfConvert(p, 4)
+	if err != nil || st.Converted != 1 {
+		t.Fatalf("conversion failed: %v %+v", err, st)
+	}
+	got := arch.MustRun(out, 1000)
+	if isa.AsI32(got.State.Read(isa.R(3))) != 1 {
+		t.Errorf("body did not execute after conversion")
+	}
+}
+
+func TestIfConvertRejections(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"body too big", `
+        cmp.lt p1 = r1, r2 ;;
+        (p1) br join ;;
+        movi r3 = 1 ;;
+        movi r4 = 1 ;;
+        movi r5 = 1 ;;
+        movi r6 = 1 ;;
+        movi r7 = 1 ;;
+join:   halt ;;
+`},
+		{"body has branch", `
+        cmp.lt p1 = r1, r2 ;;
+        (p1) br join ;;
+        br join ;;
+join:   halt ;;
+`},
+		{"body predicated", `
+        cmp.lt p1 = r1, r2
+        cmp.lt p2 = r2, r1 ;;
+        (p1) br join ;;
+        (p2) movi r3 = 1 ;;
+join:   halt ;;
+`},
+		{"fp compare is not invertible", `
+        fcmp.lt p1 = f2, f3 ;;
+        (p1) br join ;;
+        movi r3 = 1 ;;
+join:   halt ;;
+`},
+		{"immediate compare is not invertible", `
+        cmpi.lt p1 = r1, 5 ;;
+        (p1) br join ;;
+        movi r3 = 1 ;;
+join:   halt ;;
+`},
+		{"target inside region", `
+        movi r5 = 3 ;;
+        cmp.lt p1 = r1, r2 ;;
+mid:    (p1) br join ;;
+        movi r3 = 1 ;;
+join:   addi r5 = r5, -1 ;;
+        cmpi.ne p2 = r5, 0 ;;
+        (p2) br mid ;;
+        halt ;;
+`},
+		{"def crosses control flow", `
+        cmp.lt p1 = r1, r2 ;;
+        br next ;;
+next:   (p1) br join ;;
+        movi r3 = 1 ;;
+join:   halt ;;
+`},
+	}
+	for _, c := range cases {
+		p := program.MustAssemble(c.name, c.src)
+		out, st, err := IfConvert(p, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if st.Converted != 0 {
+			t.Errorf("%s: should not convert:\n%s", c.name, out.Dump())
+		}
+		// Always semantics-preserving regardless.
+		ref := arch.MustRun(p, 10_000)
+		got := arch.MustRun(out, 10_000)
+		if !ref.State.Equal(got.State) {
+			t.Errorf("%s: semantics changed: %s", c.name, ref.State.Diff(got.State))
+		}
+	}
+}
+
+func TestIfConvertEqInversion(t *testing.T) {
+	p := program.MustAssemble("eq", `
+        movi r1 = 4
+        movi r2 = 4 ;;
+        cmp.eq p1 = r1, r2 ;;
+        (p1) br join ;;
+        addi r3 = r3, 1 ;;
+join:   halt ;;
+`)
+	out, st, err := IfConvert(p, 4)
+	if err != nil || st.Converted != 1 {
+		t.Fatalf("conversion failed: %v", err)
+	}
+	ref := arch.MustRun(p, 1000)
+	got := arch.MustRun(out, 1000)
+	if !ref.State.Equal(got.State) {
+		t.Fatalf("eq inversion wrong: %s", ref.State.Diff(got.State))
+	}
+}
+
+func TestIfConvertInLoop(t *testing.T) {
+	// The hammock sits inside a loop: the inserted complement re-evaluates
+	// every iteration alongside the original compare.
+	p := program.MustAssemble("loop", `
+        movi r1 = 0
+        movi r2 = 20
+        movi r3 = 0 ;;
+top:    andi r4 = r1, 3 ;;
+        cmpi.ne p2 = r4, 0 ;;
+        movi r5 = 1 ;;
+        cmp.lt p1 = r5, r4 ;;
+        (p1) br skip ;;
+        addi r3 = r3, 10 ;;
+skip:   addi r1 = r1, 1 ;;
+        cmp.lt p3 = r1, r2 ;;
+        (p3) br top ;;
+        halt ;;
+`)
+	out, st, err := IfConvert(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Converted != 1 {
+		t.Fatalf("expected 1 conversion, got %d:\n%s", st.Converted, out.Dump())
+	}
+	ref := arch.MustRun(p, 100_000)
+	got := arch.MustRun(out, 100_000)
+	if !ref.State.Equal(got.State) {
+		t.Fatalf("loop conversion wrong: %s", ref.State.Diff(got.State))
+	}
+}
+
+func TestIfConvertRejectsIndirect(t *testing.T) {
+	p := program.MustAssemble("ind", `
+        movi r1 = @x ;;
+x:      br.ind r1 ;;
+        halt ;;
+`)
+	if _, _, err := IfConvert(p, 4); err == nil || !strings.Contains(err.Error(), "br.ind") {
+		t.Errorf("br.ind should be rejected: %v", err)
+	}
+}
+
+func TestIfConvertValidatesAfterScheduling(t *testing.T) {
+	p := program.MustAssemble("vs", `
+        movi r1 = 1
+        movi r2 = 2 ;;
+        cmp.ltu p1 = r1, r2 ;;
+        (p1) br join ;;
+        movi r3 = 1 ;;
+        st4 [r2] = r3 ;;
+join:   halt ;;
+`)
+	out, st, err := IfConvert(p, 4)
+	if err != nil || st.Converted != 1 {
+		t.Fatalf("conversion failed: %v %+v", err, st)
+	}
+	sched := MustSchedule(out, DefaultConfig())
+	if err := sched.Validate(8, [isa.NumFUClasses]int{5, 3, 3, 3}); err != nil {
+		t.Fatalf("if-converted + scheduled program invalid: %v", err)
+	}
+	ref := arch.MustRun(p, 1000)
+	got := arch.MustRun(sched, 1000)
+	if !ref.State.Equal(got.State) {
+		t.Fatalf("pipeline of passes changed semantics: %s", ref.State.Diff(got.State))
+	}
+}
+
+func TestIfConvertDiamond(t *testing.T) {
+	src := `
+        movi r1 = %d
+        movi r2 = 9 ;;
+        cmp.lt p1 = r1, r2 ;;
+        (p1) br less ;;
+        movi r3 = 100 ;;
+        addi r4 = r4, 1 ;;
+        br join ;;
+less:   movi r3 = 200 ;;
+        addi r5 = r5, 1 ;;
+join:   add r6 = r3, r4 ;;
+        halt ;;
+`
+	for _, r1 := range []int{5, 20} { // branch taken and not taken
+		p := program.MustAssemble("diamond", fmt.Sprintf(src, r1))
+		out, st, err := IfConvert(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Converted != 1 || st.Diamonds != 1 {
+			t.Fatalf("r1=%d: stats %+v, want one diamond:\n%s", r1, st, out.Dump())
+		}
+		for i := range out.Insts {
+			if out.Insts[i].Op.IsBranch() {
+				t.Fatalf("r1=%d: a branch survived:\n%s", r1, out.Dump())
+			}
+		}
+		ref := arch.MustRun(p, 1000)
+		got := arch.MustRun(out, 1000)
+		for _, pr := range st.FreshPredicates {
+			ref.State.Write(pr, 0)
+			got.State.Write(pr, 0)
+		}
+		if !ref.State.Equal(got.State) {
+			t.Fatalf("r1=%d: diamond changed semantics: %s", r1, ref.State.Diff(got.State))
+		}
+	}
+}
+
+func TestIfConvertDiamondRejectsSharedElseTarget(t *testing.T) {
+	// Another branch also jumps to the else arm: must not convert.
+	p := program.MustAssemble("shared", `
+        movi r9 = 2 ;;
+top:    cmp.lt p1 = r1, r2 ;;
+        (p1) br less ;;
+        movi r3 = 100 ;;
+        br join ;;
+less:   movi r3 = 200 ;;
+join:   addi r9 = r9, -1 ;;
+        cmpi.ne p2 = r9, 0 ;;
+        (p2) br less ;;
+        halt ;;
+`)
+	_, st, err := IfConvert(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Diamonds != 0 {
+		t.Errorf("shared else-target should not convert (diamonds=%d)", st.Diamonds)
+	}
+}

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"fleaflicker/internal/arch"
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/program"
+)
+
+func TestSchedulePacksIndependentWork(t *testing.T) {
+	p := program.MustAssemble("pack", `
+        movi r1 = 1 ;;
+        movi r2 = 2 ;;
+        movi r3 = 3 ;;
+        movi r4 = 4 ;;
+        movi r5 = 5 ;;
+        halt ;;
+`)
+	out, st, err := Schedule(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GroupsBefore != 6 {
+		t.Errorf("GroupsBefore = %d, want 6", st.GroupsBefore)
+	}
+	// 5 independent movis fit one group (5 ALU units); halt may share it.
+	if st.GroupsAfter > 2 {
+		t.Errorf("GroupsAfter = %d, want ≤ 2 (got:\n%s)", st.GroupsAfter, out.Dump())
+	}
+}
+
+func TestScheduleRespectsLatency(t *testing.T) {
+	p := program.MustAssemble("lat", `
+        movi r1 = 0x1000 ;;
+        ld4 r2 = [r1] ;;
+        add r3 = r2, r2 ;;
+        halt ;;
+`)
+	out, _, err := Schedule(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consumer may not share the load's issue group (empty cycles are
+	// not encoded — the machine's interlock provides them — but a RAW pair
+	// in one group would be architecturally wrong).
+	group := 0
+	var ldG, addG int
+	for i := range out.Insts {
+		switch out.Insts[i].Op {
+		case isa.OpLd4:
+			ldG = group
+		case isa.OpAdd:
+			addG = group
+		}
+		if out.Insts[i].Stop {
+			group++
+		}
+	}
+	if addG <= ldG {
+		t.Errorf("consumer not scheduled after load:\n%s", out.Dump())
+	}
+}
+
+func TestScheduleKeepsMemoryOrder(t *testing.T) {
+	p := program.MustAssemble("memorder", `
+        movi r1 = 0x1000
+        movi r2 = 7 ;;
+        st4 [r1] = r2 ;;
+        ld4 r3 = [r1] ;;
+        st4 [r1, 4] = r3 ;;
+        halt ;;
+`)
+	out, _, err := Schedule(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store, then load, then store — order must be preserved.
+	var seq []isa.Op
+	for i := range out.Insts {
+		if op := out.Insts[i].Op; op.IsLoad() || op.IsStore() {
+			seq = append(seq, op)
+		}
+	}
+	want := []isa.Op{isa.OpSt4, isa.OpLd4, isa.OpSt4}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("memory order changed: %v", seq)
+		}
+	}
+}
+
+func TestScheduleRemapsBranches(t *testing.T) {
+	p := program.MustAssemble("remap", `
+        movi r1 = 0
+        movi r2 = 10 ;;
+loop:   addi r1 = r1, 1 ;;
+        movi r5 = 1 ;;
+        movi r6 = 2 ;;
+        cmp.lt p1 = r1, r2 ;;
+        (p1) br loop ;;
+        halt ;;
+`)
+	out, _, err := Schedule(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Labels["loop"] == 0 {
+		t.Fatalf("loop label lost")
+	}
+	ref := arch.MustRun(p, 1_000_000)
+	got := arch.MustRun(out, 1_000_000)
+	if !ref.State.Equal(got.State) {
+		t.Fatalf("scheduled program diverges: %s", ref.State.Diff(got.State))
+	}
+	if ref.Instructions != got.Instructions {
+		t.Errorf("instruction count changed: %d -> %d", ref.Instructions, got.Instructions)
+	}
+}
+
+func TestScheduleRejectsIndirect(t *testing.T) {
+	p := program.MustAssemble("ind", `
+        movi r1 = @x ;;
+x:      br.ind r1 ;;
+        halt ;;
+`)
+	if _, _, err := Schedule(p, DefaultConfig()); err == nil || !strings.Contains(err.Error(), "br.ind") {
+		t.Errorf("br.ind should be rejected, got %v", err)
+	}
+}
+
+func TestScheduleCallRet(t *testing.T) {
+	p := program.MustAssemble("call", `
+        movi r10 = 3 ;;
+        br.call r63 = fn ;;
+        mov r11 = r10 ;;
+        halt ;;
+fn:     add r10 = r10, r10 ;;
+        br.ret r63 ;;
+`)
+	out, _, err := Schedule(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := arch.MustRun(p, 1_000_000)
+	got := arch.MustRun(out, 1_000_000)
+	if !ref.State.Equal(got.State) {
+		t.Fatalf("call/ret broke under scheduling: %s", ref.State.Diff(got.State))
+	}
+}

@@ -1,0 +1,176 @@
+// Package stats defines the measurement vocabulary of the paper's
+// evaluation: the six execution-cycle classes of Figure 6, the
+// per-cache-level access attribution of Figure 7 (split by initiating pipe),
+// and the event counters behind the scalar results of §4 (misprediction
+// resolution split, store-conflict rates, deferral counts).
+package stats
+
+import (
+	"fmt"
+
+	"fleaflicker/internal/mem"
+)
+
+// CycleClass classifies one execution cycle of the (architectural) pipeline,
+// matching the stacked categories of Figure 6.
+type CycleClass int
+
+// The six cycle classes of Figure 6. For the two-pass machine the classes
+// describe the condition of the B-pipe (the architectural pipe), so the
+// two-pass pipeline is compared against the baseline like-for-like.
+const (
+	// Unstalled: an issue group dispatched this cycle.
+	Unstalled CycleClass = iota
+	// LoadStall: dispatch blocked waiting on a load result.
+	LoadStall
+	// NonLoadDepStall: dispatch blocked on a non-load producer (FP,
+	// multiply, ...).
+	NonLoadDepStall
+	// ResourceStall: dispatch blocked on an oversubscribed resource
+	// (outstanding-load slots, full coupling queue in the A-pipe's case).
+	ResourceStall
+	// FrontEndStall: no group available to dispatch (fetch redirect,
+	// I-cache miss, flush recovery).
+	FrontEndStall
+	// APipeStall: two-pass only — the B-pipe had to wait for the A-pipe
+	// to get at least one cycle ahead.
+	APipeStall
+	NumCycleClasses
+)
+
+func (c CycleClass) String() string {
+	switch c {
+	case Unstalled:
+		return "Unstalled execution"
+	case LoadStall:
+		return "Load stall"
+	case NonLoadDepStall:
+		return "Non-load dep. stall"
+	case ResourceStall:
+		return "Resource stall"
+	case FrontEndStall:
+		return "Front end stall"
+	case APipeStall:
+		return "A-pipe stall"
+	}
+	return "?"
+}
+
+// Pipe identifies which sub-pipeline initiated a memory access (Figure 7).
+// The baseline machine initiates everything in PipeA.
+type Pipe int
+
+// Sub-pipelines.
+const (
+	PipeA Pipe = iota
+	PipeB
+	NumPipes
+)
+
+func (p Pipe) String() string {
+	if p == PipeA {
+		return "A"
+	}
+	return "B"
+}
+
+// Run is the full measurement record of one simulation.
+type Run struct {
+	Benchmark string
+	Model     string
+
+	// Cycles is total execution cycles; ByClass decomposes it.
+	Cycles  int64
+	ByClass [NumCycleClasses]int64
+
+	// Instructions counts architecturally retired instructions.
+	Instructions int64
+
+	// Access[lvl][pipe] counts data loads served by cache level lvl that
+	// were initiated by the given pipe; AccessCycles scales each access
+	// by the level's latency (the y-axis of Figure 7).
+	Access       [mem.NumLevels][NumPipes]int64
+	AccessCycles [mem.NumLevels][NumPipes]int64
+
+	// Branch resolution split (§4: 32% repaired in the A-pipe).
+	MispredictsA int64 // detected and repaired at A-DET
+	MispredictsB int64 // detected at B-DET (full flush)
+
+	// Store-conflict bookkeeping (§4: 97% of loads issued past a deferred
+	// store are conflict-free; 1.6% of stores are deferred and conflict).
+	ConflictFlushes        int64 // flushes triggered by ALAT misses
+	LoadsPastDeferredStore int64 // A-pipe loads issued while a deferred store was in the queue
+	StoresTotal            int64
+	StoresDeferred         int64 // stores executed in the B-pipe
+
+	// Two-pass activity.
+	Deferred    int64 // instructions deferred to the B-pipe
+	PreExecuted int64 // instructions completed (or started) in the A-pipe
+	Regrouped   int64 // stop bits removed by the B-pipe regrouper
+
+	// CQOccupancySum accumulates coupling-queue occupancy each cycle;
+	// divide by Cycles for the mean.
+	CQOccupancySum int64
+
+	// Mem is the hierarchy's own traffic statistics.
+	Mem mem.Stats
+}
+
+// IPC returns retired instructions per cycle.
+func (r *Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// StallCycles returns the cycles not classified as unstalled execution.
+func (r *Run) StallCycles() int64 { return r.Cycles - r.ByClass[Unstalled] }
+
+// MemStallCycles returns the load-stall cycles (the paper's "memory stall
+// cycles" in the mcf discussion).
+func (r *Run) MemStallCycles() int64 { return r.ByClass[LoadStall] }
+
+// RecordAccess notes a data load served at level lvl initiated by pipe p,
+// scaled by the level latency table.
+func (r *Run) RecordAccess(lvl mem.Level, p Pipe, levelLat [mem.NumLevels]int) {
+	r.Access[lvl][p]++
+	r.AccessCycles[lvl][p] += int64(levelLat[lvl])
+}
+
+// ConflictFreeRate returns the fraction of A-pipe loads issued past a
+// deferred store that did not trigger a conflict flush.
+func (r *Run) ConflictFreeRate() float64 {
+	if r.LoadsPastDeferredStore == 0 {
+		return 1
+	}
+	return 1 - float64(r.ConflictFlushes)/float64(r.LoadsPastDeferredStore)
+}
+
+// CheckInvariants validates internal consistency (cycle classes sum to the
+// total, access counts match the hierarchy) and returns an error describing
+// the first violation. Machines call this at the end of a run; tests assert
+// it returns nil.
+func (r *Run) CheckInvariants() error {
+	var sum int64
+	for _, c := range r.ByClass {
+		sum += c
+	}
+	if sum != r.Cycles {
+		return fmt.Errorf("stats: cycle classes sum to %d, total is %d", sum, r.Cycles)
+	}
+	var acc int64
+	for lvl := mem.Level(0); lvl < mem.NumLevels; lvl++ {
+		for p := Pipe(0); p < NumPipes; p++ {
+			acc += r.Access[lvl][p]
+		}
+	}
+	var served int64
+	for _, n := range r.Mem.DataServed {
+		served += n
+	}
+	if acc != served {
+		return fmt.Errorf("stats: recorded %d accesses, hierarchy served %d", acc, served)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"fleaflicker/internal/mem"
+)
+
+func TestCycleClassStrings(t *testing.T) {
+	want := map[CycleClass]string{
+		Unstalled:       "Unstalled execution",
+		LoadStall:       "Load stall",
+		NonLoadDepStall: "Non-load dep. stall",
+		ResourceStall:   "Resource stall",
+		FrontEndStall:   "Front end stall",
+		APipeStall:      "A-pipe stall",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if CycleClass(99).String() != "?" {
+		t.Errorf("unknown class should print ?")
+	}
+	if NumCycleClasses != 6 {
+		t.Errorf("Figure 6 has six classes, got %d", NumCycleClasses)
+	}
+}
+
+func TestPipeStrings(t *testing.T) {
+	if PipeA.String() != "A" || PipeB.String() != "B" {
+		t.Errorf("pipe names wrong")
+	}
+}
+
+func TestIPCAndStallAccessors(t *testing.T) {
+	r := Run{Cycles: 200, Instructions: 100}
+	r.ByClass[Unstalled] = 80
+	r.ByClass[LoadStall] = 120
+	if r.IPC() != 0.5 {
+		t.Errorf("IPC = %f", r.IPC())
+	}
+	if r.StallCycles() != 120 {
+		t.Errorf("StallCycles = %d", r.StallCycles())
+	}
+	if r.MemStallCycles() != 120 {
+		t.Errorf("MemStallCycles = %d", r.MemStallCycles())
+	}
+	var empty Run
+	if empty.IPC() != 0 {
+		t.Errorf("empty IPC should be 0")
+	}
+}
+
+func TestRecordAccess(t *testing.T) {
+	var r Run
+	lat := [mem.NumLevels]int{2, 5, 15, 145}
+	r.RecordAccess(mem.LevelL2, PipeA, lat)
+	r.RecordAccess(mem.LevelL2, PipeA, lat)
+	r.RecordAccess(mem.LevelMem, PipeB, lat)
+	if r.Access[mem.LevelL2][PipeA] != 2 || r.AccessCycles[mem.LevelL2][PipeA] != 10 {
+		t.Errorf("L2/A accounting wrong: %d, %d",
+			r.Access[mem.LevelL2][PipeA], r.AccessCycles[mem.LevelL2][PipeA])
+	}
+	if r.AccessCycles[mem.LevelMem][PipeB] != 145 {
+		t.Errorf("Mem/B accounting wrong")
+	}
+}
+
+func TestConflictFreeRate(t *testing.T) {
+	r := Run{LoadsPastDeferredStore: 100, ConflictFlushes: 3}
+	if got := r.ConflictFreeRate(); got != 0.97 {
+		t.Errorf("ConflictFreeRate = %f, want 0.97", got)
+	}
+	var none Run
+	if none.ConflictFreeRate() != 1 {
+		t.Errorf("no loads past deferred stores should report 1.0")
+	}
+}
+
+func TestCheckInvariants(t *testing.T) {
+	var r Run
+	r.Cycles = 10
+	r.ByClass[Unstalled] = 4
+	r.ByClass[LoadStall] = 6
+	if err := r.CheckInvariants(); err != nil {
+		t.Errorf("consistent run rejected: %v", err)
+	}
+	r.ByClass[LoadStall] = 5
+	if err := r.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "sum") {
+		t.Errorf("class/cycle mismatch not caught: %v", err)
+	}
+	r.ByClass[LoadStall] = 6
+	r.Access[mem.LevelL1][PipeA] = 3 // hierarchy served none
+	if err := r.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "accesses") {
+		t.Errorf("access mismatch not caught: %v", err)
+	}
+	r.Mem.DataServed[mem.LevelL1] = 3
+	if err := r.CheckInvariants(); err != nil {
+		t.Errorf("matched accesses rejected: %v", err)
+	}
+}

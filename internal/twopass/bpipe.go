@@ -1,0 +1,393 @@
+package twopass
+
+import (
+	"fmt"
+
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/pipeline"
+	"fleaflicker/internal/stats"
+)
+
+// bStatus is the outcome of retiring one instruction in the B-pipe.
+type bStatus struct {
+	// flushFrom, when nonzero, squashes every instruction with ID ≥
+	// flushFrom (B-DET misprediction or store-conflict recovery).
+	flushFrom uint64
+	// retired is false only for a store-conflict load, which must
+	// re-execute from fetch.
+	retired bool
+	// redirect is the PC fetch restarts at when flushFrom is set.
+	redirect int32
+}
+
+// stepB advances the backup (architectural) pipeline by one cycle and
+// classifies the cycle into one of the six Figure 6 classes.
+func (m *Machine) stepB() {
+	if len(m.cq) == 0 {
+		if m.aBlockedAnticipable {
+			m.run.ByClass[stats.NonLoadDepStall]++
+		} else {
+			m.run.ByClass[stats.FrontEndStall]++
+		}
+		return
+	}
+	if m.cq[0].enq >= m.now {
+		// The A-pipe must stay at least one cycle ahead.
+		m.run.ByClass[stats.APipeStall]++
+		return
+	}
+	set, ngroups := m.buildDispatchSet()
+	if cls, blocked := m.bBlocked(set); blocked {
+		if m.OnBBlocked != nil {
+			m.OnBBlocked(m.now, cls)
+		}
+		m.run.ByClass[cls]++
+		return
+	}
+	m.run.Regrouped += int64(ngroups - 1)
+	retired := 0
+	var flush bStatus
+	for _, d := range set {
+		st := m.processB(d)
+		if st.retired {
+			retired++
+			if m.OnBRetire != nil {
+				m.OnBRetire(m.now, d)
+			}
+		}
+		if st.flushFrom != 0 {
+			flush = st
+			break
+		}
+		if m.halted {
+			break
+		}
+	}
+	m.popHead(retired)
+	if flush.flushFrom != 0 {
+		if m.OnFlush != nil {
+			m.OnFlush(m.now, flush.flushFrom, flush.redirect)
+		}
+		m.squashCQFrom(flush.flushFrom)
+		// Recovery latency: a checkpoint restores the A-file in one
+		// cycle; otherwise speculative entries are copied back from the
+		// B-file at RepairBandwidth registers per cycle (§3.6).
+		var repairCycles int64
+		if flush.retired && m.restoreCheckpoint(flush.flushFrom-1) {
+			repairCycles = 1
+			m.dropCheckpoint(flush.flushFrom - 1)
+		} else {
+			repaired := m.repairAFile(flush.flushFrom)
+			repairCycles = int64((repaired + RepairBandwidth - 1) / RepairBandwidth)
+		}
+		m.aHalted = false
+		m.fe.Redirect(flush.redirect, m.now+pipeline.DETOffset+repairCycles)
+	}
+	if retired > 0 {
+		m.run.ByClass[stats.Unstalled]++
+	} else {
+		// A flush before anything retired: a recovery cycle.
+		m.run.ByClass[stats.FrontEndStall]++
+	}
+}
+
+// popHead removes the first n instructions from the coupling queue.
+func (m *Machine) popHead(n int) {
+	m.cqCount -= n
+	for n > 0 && len(m.cq) > 0 {
+		g := &m.cq[0]
+		if n >= len(g.insts) {
+			n -= len(g.insts)
+			m.cq = m.cq[1:]
+			continue
+		}
+		g.insts = g.insts[n:]
+		n = 0
+	}
+}
+
+// buildDispatchSet returns the instructions dispatching this cycle: the head
+// group, plus — with regrouping enabled (2Pre) — any following groups whose
+// cross dependences were all satisfied by pre-execution and whose addition
+// fits the machine's issue resources. Each merged boundary is a stop bit the
+// regrouper removed.
+func (m *Machine) buildDispatchSet() (set []*pipeline.DynInst, ngroups int) {
+	set = append(set, m.cq[0].insts...)
+	ngroups = 1
+	if !m.cfg.Regroup {
+		return set, ngroups
+	}
+	for ngroups < len(m.cq) && m.cq[ngroups].enq < m.now {
+		next := m.cq[ngroups].insts
+		if !m.canMerge(set, next) {
+			break
+		}
+		set = append(set, next...)
+		ngroups++
+	}
+	return set, ngroups
+}
+
+// canMerge reports whether the next queue group may issue together with the
+// current dispatch set: combined width and functional-unit usage must fit,
+// and no instruction in next may depend on a result the set has not already
+// finished pre-executing.
+func (m *Machine) canMerge(set, next []*pipeline.DynInst) bool {
+	if len(set)+len(next) > m.cfg.IssueWidth {
+		return false
+	}
+	var classCount [isa.NumFUClasses]int
+	for _, d := range set {
+		classCount[d.In.Op.Class()]++
+	}
+	for _, d := range next {
+		classCount[d.In.Op.Class()]++
+	}
+	for c := isa.FUClass(0); c < isa.NumFUClasses; c++ {
+		if m.cfg.FUs[c] > 0 && classCount[c] > m.cfg.FUs[c] {
+			return false
+		}
+	}
+	var srcs []isa.Reg
+	for _, j := range next {
+		srcs = j.In.Sources(srcs[:0])
+		for _, s := range srcs {
+			// Find the youngest writer of s in the set, if any.
+			for k := len(set) - 1; k >= 0; k-- {
+				i := set[k]
+				if !i.In.HasDest() || i.In.Dst != s {
+					continue
+				}
+				if i.Done && !i.PredOn {
+					continue // predicated off: not a writer; keep looking
+				}
+				if !i.Done || i.ReadyAt > m.now {
+					return false // latency-bearing dependence survives
+				}
+				break
+			}
+		}
+	}
+	return true
+}
+
+// bBlocked applies the B-pipe REG-stage interlocks to the dispatch set.
+// Pre-executed instructions never block dispatch (dangling results dispatch
+// with scoreboarded destinations); deferred instructions need ready sources,
+// a WAW-free destination, and — for loads — an outstanding-load slot.
+func (m *Machine) bBlocked(set []*pipeline.DynInst) (stats.CycleClass, bool) {
+	blockedUntil := int64(-1)
+	blockedByLoad := false
+	consider := func(r isa.Reg) {
+		if r == isa.RegNone || r.Hardwired() {
+			return
+		}
+		if t := m.bready[r]; t > m.now && t > blockedUntil {
+			blockedUntil = t
+			blockedByLoad = m.bIsLoad[r]
+		}
+	}
+	var srcs []isa.Reg
+	for _, d := range set {
+		if d.Done {
+			continue
+		}
+		srcs = d.In.Sources(srcs[:0])
+		for _, s := range srcs {
+			consider(s)
+		}
+		if d.In.HasDest() {
+			consider(d.In.Dst)
+		}
+	}
+	if blockedUntil > m.now {
+		if blockedByLoad {
+			return stats.LoadStall, true
+		}
+		return stats.NonLoadDepStall, true
+	}
+	var addrs []uint32
+	for _, d := range set {
+		if d.Done || !d.In.Op.IsLoad() {
+			continue
+		}
+		if m.bst.Read(d.In.Pred) == 0 {
+			continue
+		}
+		addrs = append(addrs, isa.EffectiveAddress(m.bst.Read(d.In.Src1), d.In.Imm))
+	}
+	if len(addrs) > 0 && !m.hier.CanAcceptLoads(addrs, m.now) {
+		return stats.ResourceStall, true
+	}
+	return 0, false
+}
+
+// processB retires one instruction: merging an A-pipe result, or executing a
+// deferred instruction against architectural state.
+func (m *Machine) processB(d *pipeline.DynInst) bStatus {
+	if d.Done {
+		return m.mergeB(d)
+	}
+	return m.executeDeferredB(d)
+}
+
+// mergeB incorporates a pre-executed instruction's results (the MRG stage).
+// The B-pipe trusts the A-pipe: nothing is recomputed, but pre-executed
+// loads must pass their ALAT check (§3.4).
+func (m *Machine) mergeB(d *pipeline.DynInst) bStatus {
+	in := d.In
+	if d.PredOn && in.Op.IsLoad() {
+		if !m.alat.CheckAndRemove(d.ID) {
+			// A conflicting store intervened between this load's A-pipe
+			// execution and now: flush speculative state and resume
+			// fetch at the load itself.
+			m.run.ConflictFlushes++
+			if m.conflictPCs != nil {
+				m.conflictPCs[d.PC] = true
+			}
+			return bStatus{flushFrom: d.ID, retired: false, redirect: d.PC}
+		}
+	}
+	m.run.Instructions++
+	if d.PredOn && sanityChecks && m.bst.Read(in.Pred) == 0 {
+		panic(fmt.Sprintf("twopass: inst %d (%s) pre-executed with wrong predicate", d.ID, in))
+	}
+	switch {
+	case d.PredOn && in.Op.IsStore():
+		m.bst.Mem.Write(d.Addr, d.Size, d.Val)
+		m.hier.Store(d.Addr, m.now)
+		m.sbuf.Remove(d.ID)
+		m.run.StoresTotal++
+	case d.PredOn && in.HasDest():
+		m.bst.Write(in.Dst, d.Val)
+		at := d.ReadyAt
+		if at < m.now {
+			at = m.now
+		}
+		m.bready[in.Dst] = at
+		m.bIsLoad[in.Dst] = in.Op.IsLoad()
+		// The arriving architectural update clears the A-file S bit if
+		// this instruction is still the register's last writer.
+		if e := &m.afile[in.Dst]; e.dynID == d.ID && e.valid {
+			e.spec = false
+		}
+	}
+	if in.Op == isa.OpHalt && d.PredOn {
+		m.halted = true
+	}
+	return bStatus{retired: true}
+}
+
+// executeDeferredB executes an instruction the A-pipe deferred, with normal
+// in-order semantics against the B-file and architectural memory.
+func (m *Machine) executeDeferredB(d *pipeline.DynInst) bStatus {
+	in := d.In
+	m.run.Instructions++
+	m.deferred--
+	if in.Op.IsStore() {
+		m.deferredStores--
+	}
+	predOn := m.bst.Read(in.Pred) != 0
+	d.PredOn = predOn
+	if !predOn {
+		if in.Op.IsBranch() {
+			return m.resolveBranchB(d, false)
+		}
+		// A predicated-off deferred instruction writes nothing; feed the
+		// (unchanged) architectural value back to revalidate the A-file
+		// entry its deferral invalidated.
+		if in.HasDest() {
+			m.feedback(in.Dst, d.ID, m.bst.Read(in.Dst), m.now+1)
+		}
+		return bStatus{retired: true}
+	}
+	switch {
+	case in.Op == isa.OpNop:
+	case in.Op == isa.OpHalt:
+		m.halted = true
+	case in.Op.IsLoad():
+		addr := isa.EffectiveAddress(m.bst.Read(in.Src1), in.Imm)
+		lat, lvl := m.hier.Load(addr, m.now)
+		m.run.RecordAccess(lvl, stats.PipeB, m.hier.Levels())
+		val := m.bst.Mem.Read(addr, in.Op.MemSize())
+		m.bst.Write(in.Dst, val)
+		m.setBReady(in.Dst, m.now+int64(lat), true)
+		m.feedback(in.Dst, d.ID, val, m.now+int64(lat))
+	case in.Op.IsStore():
+		addr := isa.EffectiveAddress(m.bst.Read(in.Src1), in.Imm)
+		data := m.bst.Read(in.Src2)
+		m.bst.Mem.Write(addr, in.Op.MemSize(), data)
+		m.hier.Store(addr, m.now)
+		m.sbuf.Remove(d.ID) // drop any address-only entry
+		m.run.StoresTotal++
+		m.run.StoresDeferred++
+		// Deleting overlapping younger ALAT entries is what later makes
+		// a conflicted pre-executed load fail its check.
+		m.alat.StoreInvalidate(d.ID, addr, in.Op.MemSize())
+	case in.Op.IsBranch():
+		return m.resolveBranchB(d, true)
+	default:
+		val := isa.Eval(in.Op, m.bst.Read(in.Src1), m.bst.Read(in.Src2), in.Imm)
+		m.bst.Write(in.Dst, val)
+		lat := int64(in.Op.Latency())
+		m.setBReady(in.Dst, m.now+lat, false)
+		m.feedback(in.Dst, d.ID, val, m.now+lat)
+	}
+	return bStatus{retired: true}
+}
+
+func (m *Machine) setBReady(r isa.Reg, at int64, fromLoad bool) {
+	if r == isa.RegNone || r.Hardwired() {
+		return
+	}
+	m.bready[r] = at
+	m.bIsLoad[r] = fromLoad
+}
+
+// resolveBranchB resolves a deferred branch at B-DET. A misprediction here
+// flushes both pipes, the coupling queue and the front end, and repairs the
+// speculative A-file entries from the B-file (§3.6).
+func (m *Machine) resolveBranchB(d *pipeline.DynInst, predOn bool) bStatus {
+	in := d.In
+	taken := false
+	target := d.PC + 1
+	if predOn {
+		switch in.Op {
+		case isa.OpBr, isa.OpBrCall:
+			taken, target = true, in.Target
+			if in.Op == isa.OpBrCall {
+				link := isa.Value(uint32(d.PC + 1))
+				m.bst.Write(in.Dst, link)
+				m.setBReady(in.Dst, m.now+1, false)
+				m.feedback(in.Dst, d.ID, link, m.now+1)
+			}
+		case isa.OpBrRet, isa.OpBrInd:
+			taken = true
+			target = int32(uint32(m.bst.Read(in.Src1)))
+		}
+	}
+	d.BrResolved, d.BrTaken, d.BrTarget = true, taken, target
+	actualNext := d.PC + 1
+	if taken {
+		actualNext = target
+	}
+	pred := m.fe.Predictor()
+	if d.HasCP {
+		pred.Resolve(d.PC, d.CP, d.PredTaken, taken)
+	}
+	if taken && (in.Op == isa.OpBrRet || in.Op == isa.OpBrInd) {
+		pred.UpdateIndirect(d.PC, target)
+	}
+	if actualNext == d.NextPC && !d.NoPrediction {
+		m.dropCheckpoint(d.ID) // correctly predicted: snapshot obsolete
+		return bStatus{retired: true}
+	}
+	m.run.MispredictsB++
+	// The snapshot (if any) is consumed by the flush handler in stepB.
+	return bStatus{flushFrom: d.ID + 1, retired: true, redirect: actualNext}
+}
+
+// sanityChecks enables internal consistency assertions; they are cheap and
+// kept on permanently (a violation indicates a machine-model bug, never a
+// program bug).
+const sanityChecks = true

@@ -1,0 +1,387 @@
+// Package twopass implements the paper's contribution: the "flea-flicker"
+// two-pass pipeline. Two in-order back-end pipelines are coupled by a FIFO
+// queue:
+//
+//   - The A-pipe (advance) dispatches issue groups without ever stalling on
+//     unready operands. An instruction whose inputs are unavailable at
+//     dispatch is deferred — suppressed and marked — and the invalidation of
+//     its destination's A-file Valid bit transitively defers its dataflow
+//     successors, in the manner of EPIC control-speculation poison bits.
+//   - The B-pipe (backup) dequeues the same instruction stream in order. It
+//     merges the results of pre-executed instructions (trusting the A-pipe;
+//     no re-execution) and executes deferred instructions with ordinary
+//     in-order stall semantics against the architectural B register file
+//     and memory.
+//
+// Supporting structures implemented here, following §3 of the paper: the
+// coupling queue and per-result coupling result store (carried on the
+// DynInst records), the A-file with Valid/Speculative/DynID metadata, the
+// speculative store buffer, the two-pass ALAT with store-conflict flushes,
+// the B→A retirement feedback path with configurable latency, two-level
+// branch resolution (A-DET early repair, B-DET full flush with speculative
+// A-file restoration), and optional instruction regrouping at B-pipe dequeue
+// (the paper's "2Pre" configuration).
+package twopass
+
+import (
+	"fmt"
+
+	"fleaflicker/internal/arch"
+	"fleaflicker/internal/bpred"
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/pipeline"
+	"fleaflicker/internal/program"
+	"fleaflicker/internal/stats"
+)
+
+// Config parameterizes the machine.
+type Config struct {
+	Front      pipeline.Config
+	Mem        mem.Config
+	Bpred      bpred.Config
+	IssueWidth int
+	FUs        [isa.NumFUClasses]int
+
+	// CQSize is the coupling-queue capacity in instructions (Table 1: 64).
+	CQSize int
+	// SBSize bounds the speculative store buffer; a full buffer stalls
+	// A-pipe dispatch of further stores (0 = unbounded, the paper's
+	// "almost ubiquitous" idealization).
+	SBSize int
+	// ALATCapacity bounds the two-pass ALAT; 0 models the paper's perfect
+	// ALAT (no capacity conflicts).
+	ALATCapacity int
+	// FeedbackLatency is the extra delay, in cycles, for a B-pipe
+	// retirement to update the A-file (Figure 8). Negative disables the
+	// feedback path entirely (the paper's "inf").
+	FeedbackLatency int
+	// Regroup enables instruction regrouping at B-pipe dequeue (2Pre):
+	// adjacent queue groups whose cross dependences were satisfied by
+	// pre-execution issue together.
+	Regroup bool
+	// DeferThrottle, when positive, stalls A-pipe dispatch while more
+	// than this many deferred instructions sit in the coupling queue (the
+	// paper's §3.5/§6 future-work moderation mechanism).
+	DeferThrottle int
+	// StallOnAnticipable makes the A-pipe stall (rather than defer) when
+	// the only blocking operands are valid results of fixed-latency
+	// non-load producers still in flight — the mitigation §4 suggests for
+	// 175.vpr's floating-point deferral pathology.
+	StallOnAnticipable bool
+	// ConflictPredictor enables a store-wait predictor in the spirit of
+	// the Alpha 21264 the paper cites in §3.4: a load whose PC previously
+	// caused a store-conflict flush is deferred whenever ambiguous
+	// (deferred) stores are in the queue, trading pre-execution for
+	// avoided flushes.
+	ConflictPredictor bool
+	// CheckpointRepair enables §3.6's alternative recovery scheme: the
+	// A-file is checkpointed when a branch defers, so a B-DET
+	// misprediction restores it in one cycle instead of copying the
+	// speculative entries from the B-file at RepairBandwidth registers
+	// per cycle ("faster branch prediction recovery at a higher register
+	// file implementation cost").
+	CheckpointRepair bool
+
+	MaxCycles int64
+}
+
+// DefaultConfig returns the Table 1 two-pass machine (2P).
+func DefaultConfig() Config {
+	return Config{
+		Front:           pipeline.DefaultConfig(),
+		Mem:             mem.DefaultConfig(),
+		Bpred:           bpred.DefaultConfig(),
+		IssueWidth:      8,
+		FUs:             [isa.NumFUClasses]int{isa.ClassALU: 5, isa.ClassMEM: 3, isa.ClassFP: 3, isa.ClassBR: 3},
+		CQSize:          64,
+		ALATCapacity:    0,
+		FeedbackLatency: 0,
+		MaxCycles:       2_000_000_000,
+	}
+}
+
+// aEntry is one A-file register: a value plus the Valid bit (V), Speculative
+// bit (S) and last-writer dynamic ID tag (DynID) of §3.3, and the cycle the
+// value becomes consumable (the in-flight-load scoreboard).
+type aEntry struct {
+	val     isa.Value
+	valid   bool
+	spec    bool
+	dynID   uint64
+	readyAt int64
+	// fromLoad marks values still in flight from a load (unanticipated
+	// latency) as opposed to a fixed-latency producer, for the
+	// StallOnAnticipable policy.
+	fromLoad bool
+}
+
+// cqGroup is one issue group in the coupling queue.
+type cqGroup struct {
+	insts []*pipeline.DynInst
+	enq   int64 // cycle enqueued; the B-pipe may dequeue it strictly later
+}
+
+// Machine is one two-pass simulation instance.
+type Machine struct {
+	cfg  Config
+	prog *program.Program
+	fe   *pipeline.FrontEnd
+	hier *mem.Hierarchy
+
+	// A-pipe state.
+	afile   [isa.NumRegs]aEntry
+	aHalted bool
+	// aBlockedAnticipable marks an A-pipe stall under StallOnAnticipable.
+	aBlockedAnticipable bool
+
+	// B-pipe (architectural) state.
+	bst      *arch.State
+	bready   [isa.NumRegs]int64
+	bIsLoad  [isa.NumRegs]bool
+	cq       []cqGroup
+	cqCount  int
+	sbuf     mem.StoreBuffer
+	alat     mem.ALAT
+	deferred int // instructions currently deferred in the CQ
+	// deferredStores counts deferred stores currently in the CQ, for the
+	// loads-past-deferred-store statistic.
+	deferredStores int
+
+	// checkpoints holds A-file snapshots taken when branches defer
+	// (CheckpointRepair only), keyed by the branch's dynamic ID.
+	checkpoints map[uint64]*[isa.NumRegs]aEntry
+	// conflictPCs marks load PCs that caused store-conflict flushes
+	// (ConflictPredictor only).
+	conflictPCs map[int32]bool
+
+	now    int64
+	halted bool
+	run    stats.Run
+
+	// Optional trace hooks, all nil by default; used by cmd/fleatrace and
+	// tests. OnADispatch fires for every instruction the A-pipe processes
+	// (after its execute-or-defer decision), OnBRetire for every
+	// instruction the B-pipe retires, OnBBlocked when the B-pipe cannot
+	// dispatch, and OnFlush on B-DET misprediction or store-conflict
+	// recovery.
+	OnADispatch func(now int64, d *pipeline.DynInst)
+	OnBRetire   func(now int64, d *pipeline.DynInst)
+	OnBBlocked  func(now int64, cls stats.CycleClass)
+	OnFlush     func(now int64, from uint64, redirect int32)
+}
+
+// New builds a machine over a fresh copy of the program's memory.
+func New(cfg Config, prog *program.Program) (*Machine, error) {
+	if err := prog.Validate(cfg.IssueWidth, cfg.FUs); err != nil {
+		return nil, fmt.Errorf("twopass: %w", err)
+	}
+	if cfg.CQSize < cfg.IssueWidth {
+		return nil, fmt.Errorf("twopass: coupling queue (%d) smaller than one issue group (%d)",
+			cfg.CQSize, cfg.IssueWidth)
+	}
+	hier := mem.NewHierarchy(cfg.Mem)
+	m := &Machine{
+		cfg:  cfg,
+		prog: prog,
+		fe:   pipeline.NewFrontEnd(cfg.Front, prog, hier, bpred.New(cfg.Bpred)),
+		hier: hier,
+		bst:  arch.NewState(prog.InitialImage()),
+	}
+	m.alat.Capacity = cfg.ALATCapacity
+	if cfg.CheckpointRepair {
+		m.checkpoints = make(map[uint64]*[isa.NumRegs]aEntry)
+	}
+	if cfg.ConflictPredictor {
+		m.conflictPCs = make(map[int32]bool)
+	}
+	// The A-file starts as a coherent copy of the (zeroed) architectural
+	// file: every register valid and non-speculative.
+	for r := range m.afile {
+		m.afile[r] = aEntry{valid: true}
+	}
+	m.run.Benchmark = prog.Name
+	if cfg.Regroup {
+		m.run.Model = "2Pre"
+	} else {
+		m.run.Model = "2P"
+	}
+	return m, nil
+}
+
+// State exposes the architectural (B-file) state for correctness checks.
+func (m *Machine) State() *arch.State { return m.bst }
+
+// Run simulates to completion and returns the measurements.
+func (m *Machine) Run() (*stats.Run, error) {
+	for !m.halted {
+		if m.now >= m.cfg.MaxCycles {
+			return nil, fmt.Errorf("twopass: %q exceeded %d cycles", m.prog.Name, m.cfg.MaxCycles)
+		}
+		m.fe.Tick(m.now)
+		m.stepA()
+		m.stepB()
+		m.run.CQOccupancySum += int64(m.cqCount)
+		m.now++
+	}
+	m.run.Cycles = m.now
+	m.run.Mem = m.hier.Stats()
+	if err := m.run.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	r := m.run
+	return &r, nil
+}
+
+// readA reports whether register r is consumable in the A-pipe at now, and
+// its value if so. A register is unusable either because its last writer was
+// deferred (V clear) or because its value is still in flight.
+func (m *Machine) readA(r isa.Reg) (isa.Value, bool) {
+	if r == isa.RegNone || r.Hardwired() {
+		return isa.HardwiredValue(r), true
+	}
+	e := &m.afile[r]
+	if !e.valid || e.readyAt > m.now {
+		return 0, false
+	}
+	return e.val, true
+}
+
+// writeA records an A-pipe result in the A-file.
+func (m *Machine) writeA(r isa.Reg, id uint64, v isa.Value, readyAt int64, fromLoad bool) {
+	if r == isa.RegNone || r.Hardwired() {
+		return
+	}
+	m.afile[r] = aEntry{val: v, valid: true, spec: true, dynID: id, readyAt: readyAt, fromLoad: fromLoad}
+}
+
+// invalidateA clears the Valid bit of a deferred instruction's destination,
+// which transitively defers its consumers.
+func (m *Machine) invalidateA(r isa.Reg, id uint64) {
+	if r == isa.RegNone || r.Hardwired() {
+		return
+	}
+	e := &m.afile[r]
+	e.valid = false
+	e.spec = false
+	e.dynID = id
+}
+
+// feedback applies a B-pipe retirement to the A-file (§3.5): the update
+// lands only if the A-file entry's DynID still names this instruction (no
+// younger write intervened), arriving FeedbackLatency cycles after the
+// result is produced.
+func (m *Machine) feedback(r isa.Reg, id uint64, v isa.Value, producedAt int64) {
+	if m.cfg.FeedbackLatency < 0 || r == isa.RegNone || r.Hardwired() {
+		return
+	}
+	e := &m.afile[r]
+	if e.dynID != id {
+		return
+	}
+	at := producedAt + int64(m.cfg.FeedbackLatency)
+	if at < m.now+1 {
+		at = m.now + 1
+	}
+	m.afile[r] = aEntry{val: v, valid: true, spec: false, dynID: id, readyAt: at}
+}
+
+// RepairBandwidth is the number of A-file registers repairable from the
+// B-file per cycle during flush recovery; the repair's duration extends the
+// front-end redirect (§3.6). Checkpoint restoration avoids this cost.
+const RepairBandwidth = 8
+
+// repairAFile restores corrupted A-file entries from the architectural
+// B-file after a B-DET misprediction or store-conflict flush: every
+// speculative entry, and every invalid entry whose pending writer (DynID)
+// was squashed (ID ≥ flushID), is overwritten with the architectural value.
+// It returns the number of registers repaired, which determines the
+// recovery latency.
+func (m *Machine) repairAFile(flushID uint64) (repaired int) {
+	for r := range m.afile {
+		reg := isa.Reg(r)
+		if reg.Hardwired() {
+			continue
+		}
+		e := &m.afile[r]
+		if e.spec || (!e.valid && e.dynID >= flushID) {
+			*e = aEntry{val: m.bst.Regs[r], valid: true, readyAt: m.now}
+			repaired++
+		}
+	}
+	return repaired
+}
+
+// snapshotAFile records the A-file for checkpoint repair when a branch
+// defers.
+func (m *Machine) snapshotAFile(branchID uint64) {
+	if m.checkpoints == nil {
+		return
+	}
+	cp := m.afile // array copy
+	m.checkpoints[branchID] = &cp
+}
+
+// dropCheckpoint discards a branch's snapshot (on retirement or squash).
+func (m *Machine) dropCheckpoint(id uint64) {
+	if m.checkpoints != nil {
+		delete(m.checkpoints, id)
+	}
+}
+
+// restoreCheckpoint reinstates the A-file as of the mispredicted branch's
+// dispatch; reports whether a snapshot existed.
+func (m *Machine) restoreCheckpoint(branchID uint64) bool {
+	cp, ok := m.checkpoints[branchID]
+	if !ok {
+		return false
+	}
+	m.afile = *cp
+	return true
+}
+
+// squashCQFrom removes every queued instruction with ID ≥ flushID, along
+// with its store-buffer and ALAT footprint.
+func (m *Machine) squashCQFrom(flushID uint64) {
+	for gi := range m.cq {
+		g := &m.cq[gi]
+		for ii, d := range g.insts {
+			if d.ID < flushID {
+				continue
+			}
+			for _, dd := range g.insts[ii:] {
+				m.uncount(dd)
+			}
+			g.insts = g.insts[:ii]
+			for _, lg := range m.cq[gi+1:] {
+				for _, dd := range lg.insts {
+					m.uncount(dd)
+				}
+			}
+			if len(g.insts) == 0 {
+				m.cq = m.cq[:gi]
+			} else {
+				m.cq = m.cq[:gi+1]
+			}
+			m.sbuf.FlushFrom(flushID)
+			m.alat.FlushFrom(flushID)
+			return
+		}
+	}
+	m.sbuf.FlushFrom(flushID)
+	m.alat.FlushFrom(flushID)
+}
+
+// uncount reverses the queue-occupancy bookkeeping of a squashed entry.
+func (m *Machine) uncount(d *pipeline.DynInst) {
+	m.cqCount--
+	if d.Deferred {
+		m.deferred--
+		if d.In.Op.IsStore() {
+			m.deferredStores--
+		}
+		if d.In.Op.IsBranch() {
+			m.dropCheckpoint(d.ID)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/program"
+)
+
+// buildEquake reproduces 183.equake's signature: a sparse matrix-vector
+// product whose value/index streams and gathered x-vector elements generate
+// many mutually independent L3/memory misses. The A-pipe starts nearly all
+// of them, overlapping their latencies — the paper's clearest win.
+func buildEquake() *program.Program {
+	const (
+		valBase = 0x1000_0000 // 8B floats, nnz entries
+		colBase = 0x1040_0000 // 4B indices
+		xBase   = 0x1080_0000 // 64K floats: 512KB
+		yBase   = 0x10C0_0000
+		rows    = 4096
+		rowLen  = 8
+		nnz     = rows * rowLen
+		xWords  = 65_536
+	)
+	src := `
+        movi r10 = 0x10000000     // val cursor
+        movi r11 = 0x10400000     // col cursor
+        movi r12 = 0x10800000     // x base
+        movi r13 = 0x10C00000     // y cursor
+        movi r14 = 4096           // rows
+row:    fmul f6 = f6, f0          // sum = 0
+        movi r15 = 8              // row length
+elt:    ld4 r4 = [r11]            // column index (streaming)
+        ldf f2 = [r10]            // matrix value  (streaming)
+        shli r5 = r4, 3
+        add r5 = r5, r12
+        ldf f3 = [r5]             // x[col] gather (random 512KB)
+        fmul f4 = f2, f3
+        fadd f6 = f6, f4
+        fmul f8 = f4, f4          // damping term (independent FP work)
+        fadd f9 = f9, f8
+        fsub f10 = f8, f4
+        fmul f10 = f10, f2
+        fadd f11 = f11, f10
+        fadd f12 = f12, f8
+        addi r10 = r10, 8
+        addi r11 = r11, 4
+        addi r15 = r15, -1
+        cmpi.ne p1 = r15, 0
+        (p1) br elt
+        stf [r13] = f6
+        addi r13 = r13, 8
+        addi r14 = r14, -1
+        cmpi.ne p15 = r14, 0
+        (p15) br row
+        halt ;;
+`
+	return assemble("183.equake", src, func(img *mem.Image, rng *rand.Rand) {
+		for i := 0; i < nnz; i++ {
+			img.WriteU32(uint32(colBase+i*4), uint32(rng.Intn(xWords)))
+			img.WriteF64(uint32(valBase+i*8), randFloatBits(rng))
+		}
+		for i := 0; i < xWords; i += 8 {
+			img.WriteF64(uint32(xBase+i*8), randFloatBits(rng))
+		}
+	})
+}
+
+// buildVpr reproduces 175.vpr's signature: long dependent floating-point
+// chains (including fdiv) whose consumers follow within a few cycles, so the
+// A-pipe defers nearly all of them; an FP-derived store address creates the
+// deferred ambiguous stores behind vpr's store-conflict flushes. This is the
+// paper's one benchmark that loses under two-pass pipelining.
+func buildVpr() *program.Program {
+	const (
+		tblBase = 0x1000_0000 // 1.5K 8-byte floats: 12KB (L1-resident)
+		outBase = 0x1100_0000
+		tblN    = 1536
+	)
+	// Nearly every instruction hangs off a long floating-point chain whose
+	// consumers follow within a few cycles, so the A-pipe defers the FP
+	// instructions wholesale ("98% of its long-latency floating point
+	// instructions, in chains"). A branch and an ambiguous store fed by the
+	// chain add B-DET misprediction penalties and store-conflict flushes —
+	// together the paper's one net loss.
+	src := `
+        movi r10 = 0x10000000     // cost table
+        movi r30 = 0x11000000     // output scratch
+        movi r2 = 55555           // xorshift state
+        movi r3 = 22000           // iterations
+        movi r20 = 0
+        movi r21 = 0
+        movi r22 = 0 ;;
+loop:   shli r40 = r2, 13
+        xor r2 = r2, r40
+        shri r40 = r2, 17
+        xor r2 = r2, r40
+        shli r40 = r2, 5
+        xor r2 = r2, r40
+        shri r6 = r2, 9
+        andi r6 = r6, 0x2FF8      // table index (8-byte aligned, 12KB)
+        add r7 = r6, r10
+        ldf f2 = [r7]             // channel cost
+        ldf f3 = [r7, 8]          // neighbour cost
+        fsub f4 = f2, f3          // the dependent FP chain
+        fmul f5 = f4, f4
+        fadd f6 = f6, f5
+        fdiv f7 = f5, f2          // long divide
+        fadd f7 = f7, f6
+        fcmp.lt p1 = f5, f1       // FP-fed, data-dependent branch...
+        (p1) br vless
+        addi r20 = r20, 1
+        br vjoin
+vless:  addi r22 = r22, 1         // ...resolved at B-DET when deferred
+vjoin:  f2i r8 = f5               // FP-derived store address
+        shli r8 = r8, 2
+        andi r8 = r8, 12
+        add r9 = r8, r30
+        st4 [r9] = r20            // deferred with unknown address
+        ld4 r11 = [r30, 4]        // younger readback: frequent conflicts
+        add r21 = r21, r11
+        addi r3 = r3, -1
+        cmpi.ne p15 = r3, 0
+        (p15) br loop
+        st4 [r30, 2048] = r21
+        stf [r30, 2056] = f7
+        halt ;;
+`
+	return assemble("175.vpr", src, func(img *mem.Image, rng *rand.Rand) {
+		for i := 0; i < tblN; i++ {
+			img.WriteF64(uint32(tblBase+i*8), randFloatBits(rng))
+		}
+	})
+}
+
+// randFloatBits returns the bits of a float in (0.5, 2.5), keeping FP chains
+// well-conditioned (no overflow/underflow drift across thousands of
+// accumulations).
+func randFloatBits(rng *rand.Rand) uint64 {
+	return math.Float64bits(0.5 + 2.0*rng.Float64())
+}

@@ -1,0 +1,425 @@
+package workload
+
+import (
+	"math/rand"
+
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/program"
+)
+
+// buildGo reproduces 099.go's signature: branchy integer pattern matching
+// over a small (L1-resident) board with data-dependent, hard-to-predict
+// branch chains. Memory is nearly free; mispredictions dominate, so two-pass
+// gains little and B-DET-resolved branches can hurt.
+func buildGo() *program.Program {
+	const (
+		boardBase  = 0x1000_0000 // 1024 words: 4KB
+		boardWords = 1024
+		iters      = 20_000
+	)
+	src := `
+        movi r1 = 0x10000000      // board
+        movi r2 = 98765           // lcg state
+        movi r3 = 20000           // iterations
+        movi r20 = 0
+        movi r21 = 0
+        movi r22 = 0
+        movi r23 = 0 ;;
+main:   shli r40 = r2, 13
+        xor r2 = r2, r40
+        shri r40 = r2, 17
+        xor r2 = r2, r40
+        shli r40 = r2, 5
+        xor r2 = r2, r40
+        shri r6 = r2, 10
+        andi r6 = r6, 0xFFC       // word index into the board
+        add r7 = r6, r1
+        ld4 r8 = [r7]             // stone at point (L1 hit)
+        andi r9 = r8, 3
+        cmpi.eq p1 = r9, 0
+        (p1) br empty
+        cmpi.eq p2 = r9, 1
+        (p2) br black
+        addi r22 = r22, 1         // white stone
+        ld4 r10 = [r7, 4]         // neighbour
+        andi r11 = r10, 3
+        cmpi.eq p3 = r11, 1
+        (p3) addi r23 = r23, 1    // contact point
+        br join
+black:  addi r21 = r21, 1
+        ld4 r10 = [r7, 4]
+        andi r11 = r10, 3
+        cmpi.eq p4 = r11, 0
+        (p4) addi r23 = r23, 1    // liberty
+        br join
+empty:  addi r20 = r20, 1
+        andi r12 = r2, 63
+        cmpi.eq p5 = r12, 0
+        (p5) st4 [r7] = r9        // occasional play
+join:   addi r3 = r3, -1
+        cmpi.ne p15 = r3, 0
+        (p15) br main
+        movi r30 = 0x12000000
+        st4 [r30] = r20
+        st4 [r30, 4] = r21
+        st4 [r30, 8] = r23
+        halt ;;
+`
+	return assemble("099.go", src, func(img *mem.Image, rng *rand.Rand) {
+		for i := 0; i < boardWords; i++ {
+			img.WriteU32(uint32(boardBase+i*4), uint32(rng.Intn(3)))
+		}
+	})
+}
+
+// buildCompress reproduces 129.compress's signature: hash probes into an
+// L2-resident dictionary, so nearly every iteration carries a short
+// (L1-miss, L2-hit) latency with the consumer scheduled right behind it —
+// the diffuse near-miss stalls two-pass absorbs.
+func buildCompress() *program.Program {
+	const (
+		tblBase  = 0x1000_0000 // 32K words: 128KB (L2-resident)
+		tblWords = 32_768
+		iters    = 12_000
+	)
+	src := `
+        movi r1 = 0x10000000      // hash table
+        movi r2 = 31415           // lcg state
+        movi r3 = 12000           // iterations
+        movi r4 = 1               // current code
+        movi r20 = 0
+        movi r21 = 0 ;;
+loop:   shli r40 = r2, 13
+        xor r2 = r2, r40
+        shri r40 = r2, 17
+        xor r2 = r2, r40
+        shli r40 = r2, 5
+        xor r2 = r2, r40
+        shri r6 = r2, 16
+        andi r6 = r6, 255         // next character
+        shli r7 = r4, 4
+        xor r7 = r7, r6
+        andi r7 = r7, 0x1FFFC     // hash, word aligned
+        add r8 = r7, r1
+        ld4 r9 = [r8]             // probe: L1 miss, L2 hit typically
+        cmp.eq p1 = r9, r4
+        (p1) addi r20 = r20, 1    // dictionary hit
+        cmp.ne p2 = r9, r4
+        (p2) st4 [r8] = r4        // insert new code
+        add r4 = r4, r6
+        andi r4 = r4, 65535
+        shli r22 = r21, 3
+        xor r22 = r22, r2
+        shri r23 = r22, 7
+        add r23 = r23, r21
+        xor r24 = r23, r22
+        andi r24 = r24, 8191
+        add r21 = r21, r24
+        addi r3 = r3, -1
+        cmpi.ne p15 = r3, 0
+        (p15) br loop
+        movi r30 = 0x12000000
+        st4 [r30] = r20
+        st4 [r30, 4] = r21
+        halt ;;
+`
+	return assemble("129.compress", src, func(img *mem.Image, rng *rand.Rand) {
+		for i := 0; i < tblWords; i += 4 {
+			img.WriteU32(uint32(tblBase+i*4), uint32(rng.Intn(65536)))
+		}
+	})
+}
+
+// buildLi reproduces 130.li's signature: cons-cell list walking with
+// tag-dispatch branches fed directly by loads (late-resolving branches) and
+// a call/ret-structured interpreter loop over a small heap.
+func buildLi() *program.Program {
+	const (
+		cellBase = 0x1000_0000 // 4096 cells × 16B: 64KB
+		headBase = 0x1010_0000 // 64 list heads
+		cells    = 4096
+		heads    = 64
+		iters    = 2000
+	)
+	src := `
+        movi r1 = 0x10100000      // list heads
+        movi r2 = 24680           // lcg state
+        movi r3 = 2000            // iterations
+        movi r20 = 0
+        movi r22 = 0 ;;
+loop:   shli r40 = r2, 13
+        xor r2 = r2, r40
+        shri r40 = r2, 17
+        xor r2 = r2, r40
+        shli r40 = r2, 5
+        xor r2 = r2, r40
+        shri r6 = r2, 8
+        andi r6 = r6, 0xFC        // head index (word aligned)
+        add r7 = r6, r1
+        ld4 r10 = [r7]            // list head pointer
+        br.call r63 = walk
+        shli r24 = r22, 3
+        xor r24 = r24, r2
+        shri r25 = r24, 7
+        add r25 = r25, r22
+        xor r26 = r25, r24
+        andi r26 = r26, 8191
+        add r22 = r22, r26
+        addi r3 = r3, -1
+        cmpi.ne p15 = r3, 0
+        (p15) br loop
+        movi r30 = 0x12000000
+        st4 [r30] = r20
+        st4 [r30, 4] = r22
+        halt ;;
+
+// walk sums a list: r10 = cell pointer, result accumulates into r20.
+walk:   cmpi.eq p1 = r10, 0
+        (p1) br.ret r63
+wloop:  ld4 r11 = [r10]           // tag
+        cmpi.eq p2 = r11, 1       // fixnum?
+        (p2) ld4 r12 = [r10, 4]
+        (p2) add r20 = r20, r12
+        ld4 r10 = [r10, 8]        // cdr
+        cmpi.ne p3 = r10, 0       // branch fed by the cdr load
+        (p3) br wloop
+        br.ret r63
+`
+	return assemble("130.li", src, func(img *mem.Image, rng *rand.Rand) {
+		// Build `heads` disjoint chains threading randomly through the
+		// cell pool, 6–14 cells each.
+		perm := rng.Perm(cells)
+		next := 0
+		for h := 0; h < heads; h++ {
+			n := 6 + rng.Intn(9)
+			var first uint32
+			var prev uint32
+			for k := 0; k < n && next < len(perm); k++ {
+				c := uint32(cellBase + perm[next]*16)
+				next++
+				img.WriteU32(c, uint32(1+rng.Intn(2)))  // tag: 1=fixnum, 2=symbol
+				img.WriteU32(c+4, uint32(rng.Intn(99))) // value
+				img.WriteU32(c+8, 0)                    // cdr (patched below)
+				if prev != 0 {
+					img.WriteU32(prev+8, c)
+				} else {
+					first = c
+				}
+				prev = c
+			}
+			img.WriteU32(uint32(headBase+h*4), first)
+		}
+	})
+}
+
+// buildParser reproduces 197.parser's signature: dictionary lookups walking
+// short hash chains through a pool larger than the L2, with data-dependent
+// match branches.
+func buildParser() *program.Program {
+	const (
+		bucketBase = 0x1000_0000 // 64K buckets: 256KB
+		nodeBase   = 0x1040_0000 // 64K nodes × 16B: 1MB
+		buckets    = 65_536
+		nodes      = 65_536
+		iters      = 26_000
+	)
+	src := `
+        movi r1 = 0x10000000      // buckets
+        movi r2 = 1357            // lcg state
+        movi r3 = 26000           // iterations
+        movi r20 = 0
+        movi r21 = 0
+        movi r22 = 0 ;;
+loop:   shli r40 = r2, 13
+        xor r2 = r2, r40
+        shri r40 = r2, 17
+        xor r2 = r2, r40
+        shli r40 = r2, 5
+        xor r2 = r2, r40
+        shri r6 = r2, 14
+        andi r7 = r6, 0x3FFFC     // bucket (word aligned)
+        add r7 = r7, r1
+        ld4 r10 = [r7]            // chain head (L2/L3 miss)
+chain:  cmpi.eq p1 = r10, 0
+        (p1) br miss
+        ld4 r11 = [r10]           // node word
+        andi r12 = r6, 1023
+        cmp.eq p2 = r11, r12      // match? (rarely)
+        (p2) br found
+        ld4 r10 = [r10, 8]        // next node (dependent chase)
+        br chain
+found:  ld4 r13 = [r10, 4]
+        addi r13 = r13, 1
+        st4 [r10, 4] = r13        // bump use count
+        addi r20 = r20, 1
+        br next
+miss:   addi r21 = r21, 1
+next:shli r24 = r22, 3
+        xor r24 = r24, r2
+        shri r25 = r24, 7
+        add r25 = r25, r22
+        xor r26 = r25, r24
+        andi r26 = r26, 8191
+        add r22 = r22, r26
+        addi r3 = r3, -1
+        cmpi.ne p15 = r3, 0
+        (p15) br loop
+        movi r30 = 0x12000000
+        st4 [r30] = r20
+        st4 [r30, 4] = r21
+        st4 [r30, 8] = r22
+        halt ;;
+`
+	return assemble("197.parser", src, func(img *mem.Image, rng *rand.Rand) {
+		perm := rng.Perm(nodes)
+		next := 0
+		for b := 0; b < buckets && next < nodes; b += 2 { // half the buckets populated
+			n := 1 + rng.Intn(3)
+			var prev uint32
+			for k := 0; k < n && next < nodes; k++ {
+				c := uint32(nodeBase + perm[next]*16)
+				next++
+				img.WriteU32(c, uint32(rng.Intn(1024))) // word id
+				img.WriteU32(c+8, 0)
+				if prev == 0 {
+					img.WriteU32(uint32(bucketBase+b*4), c)
+				} else {
+					img.WriteU32(prev+8, c)
+				}
+				prev = c
+			}
+		}
+	})
+}
+
+// buildVortex reproduces 255.vortex's signature: object-database record
+// insertion — bursts of back-to-back loads and stores copying 32-byte
+// records through an L3-sized store, under a call-driven control structure.
+func buildVortex() *program.Program {
+	const (
+		srcBase = 0x1000_0000 // 64K records x 16B: 1MB
+		dstBase = 0x1080_0000 // 1MB
+		records = 65_536
+		iters   = 5000
+	)
+	src := `
+        movi r1 = 0x10000000      // source pool
+        movi r14 = 0x10800000     // destination store
+        movi r2 = 8642            // lcg state
+        movi r3 = 5000            // iterations
+        movi r20 = 0
+        movi r21 = 0 ;;
+loop:   shli r40 = r2, 13
+        xor r2 = r2, r40
+        shri r40 = r2, 17
+        xor r2 = r2, r40
+        shli r40 = r2, 5
+        xor r2 = r2, r40
+        shri r6 = r2, 8
+        andi r6 = r6, 0xFFFF0     // source record offset (16B aligned)
+        add r10 = r6, r1
+        shri r7 = r2, 20
+        andi r7 = r7, 0xFFFF0     // destination slot
+        add r11 = r7, r14
+        br.call r63 = copyrec
+        andi r26 = r20, 7
+        cmpi.eq p6 = r26, 0
+        (p6) xor r21 = r21, r41   // every 8th record folds into the directory
+        addi r20 = r20, 1
+        shli r22 = r21, 3
+        xor r22 = r22, r2
+        shri r23 = r22, 7
+        add r23 = r23, r21
+        xor r24 = r23, r22
+        andi r24 = r24, 8191
+        add r21 = r21, r24
+        addi r3 = r3, -1
+        cmpi.ne p15 = r3, 0
+        (p15) br loop
+        movi r30 = 0x12000000
+        st4 [r30] = r20
+        st4 [r30, 4] = r21
+        halt ;;
+
+// copyrec copies a 16-byte record from [r10] to [r11], checksumming it.
+copyrec: ld4 r40 = [r10]
+        ld4 r41 = [r10, 4]
+        ld4 r42 = [r10, 8]
+        ld4 r43 = [r10, 12]
+        st4 [r11] = r40
+        st4 [r11, 4] = r41
+        st4 [r11, 8] = r42
+        add r48 = r40, r41
+        add r49 = r42, r43
+        add r48 = r48, r49        // record checksum
+        st4 [r11, 12] = r48
+        br.ret r63
+`
+	return assemble("255.vortex", src, func(img *mem.Image, rng *rand.Rand) {
+		for i := 0; i < records; i += 2 {
+			img.WriteU32(uint32(srcBase+i*16), rng.Uint32())
+			img.WriteU32(uint32(srcBase+i*16+8), rng.Uint32())
+		}
+	})
+}
+
+// buildTwolf reproduces 300.twolf's signature: cell-swap cost evaluation
+// over an L1-spilling working set, where loads feed comparisons feeding
+// branches — late (B-DET) branch resolution eats into the memory-stall
+// savings, the paper's "offset by front end stall" case.
+func buildTwolf() *program.Program {
+	const (
+		cellBase  = 0x1000_0000 // 16K words: 64KB
+		cellWords = 16_384
+		iters     = 6000
+	)
+	src := `
+        movi r1 = 0x10000000      // cell costs
+        movi r2 = 11223           // lcg state
+        movi r3 = 6000            // iterations
+        movi r20 = 0
+        movi r21 = 0
+        movi r22 = 0 ;;
+loop:   shli r40 = r2, 13
+        xor r2 = r2, r40
+        shri r40 = r2, 17
+        xor r2 = r2, r40
+        shli r40 = r2, 5
+        xor r2 = r2, r40
+        shri r6 = r2, 7
+        andi r6 = r6, 0xFFFC      // cell a (word aligned, 64KB)
+        add r7 = r6, r1
+        shri r8 = r2, 18
+        andi r8 = r8, 0xFFFC      // cell b
+        add r9 = r8, r1
+        ld4 r10 = [r7]            // cost a (L1 miss, L2 hit often)
+        ld4 r11 = [r9]            // cost b
+        cmp.lt p1 = r10, r11      // fed by the loads...
+        (p1) br swap              // ...resolves at B-DET when they miss
+        addi r20 = r20, 1
+        br join
+swap:   st4 [r7] = r11
+        st4 [r9] = r10
+        addi r21 = r21, 1
+join:shli r24 = r22, 3
+        xor r24 = r24, r2
+        shri r25 = r24, 7
+        add r25 = r25, r22
+        xor r26 = r25, r24
+        andi r26 = r26, 8191
+        add r22 = r22, r26
+        addi r3 = r3, -1
+        cmpi.ne p15 = r3, 0
+        (p15) br loop
+        movi r30 = 0x12000000
+        st4 [r30] = r20
+        st4 [r30, 4] = r21
+        st4 [r30, 8] = r22
+        halt ;;
+`
+	return assemble("300.twolf", src, func(img *mem.Image, rng *rand.Rand) {
+		for i := 0; i < cellWords; i++ {
+			img.WriteU32(uint32(cellBase+i*4), uint32(rng.Intn(100000)))
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"math/rand"
+
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/program"
+)
+
+// buildMcf reproduces the paper's 181.mcf case study (Figure 1): a network-
+// simplex pricing scan over the arc array. Each arc supplies streaming loads
+// (cost/head/tail) while the node-potential lookups index randomly into a
+// 2MB node array, missing to L2/L3/memory. The reduced-cost comparison
+// conditionally updates the arc — the consumer chain the paper shows
+// stalling an issue-group machine. Two passes: the second re-walks the arcs
+// with a warm mid-hierarchy, shifting stalls toward the L2-latency misses
+// the paper highlights.
+func buildMcf() *program.Program {
+	const (
+		arcBase   = 0x1000_0000
+		nodeBase  = 0x1100_0000
+		arcs      = 8192    // 16B each: 128KB
+		nodeWords = 262_144 // 1MB: straddles the L3 with arcs and code
+	)
+	// The body is software-pipelined the way the paper's aggressive EPIC
+	// compiler would schedule it: the head/tail indices of arc i+1 are
+	// loaded one iteration early, so the node-potential loads of arc i
+	// have ready addresses at A-pipe dispatch and their (long) misses are
+	// initiated in the A-pipe and overlapped. The reduced-cost compute
+	// chain keeps a realistic ALU share.
+	src := `
+        movi r40 = 3              // passes
+        movi r12 = 0x11000000     // node potentials
+        movi r20 = 0
+        movi r21 = 0 ;;
+pass:   movi r10 = 0x10000000     // arc cursor
+        movi r11 = 0x1001FFF0     // last arc (software-pipeline epilogue)
+        ld4 r5 = [r10, 4]         // prologue: head of arc 0
+        ld4 r6 = [r10, 8]         // prologue: tail of arc 0
+arc:    ld4 r24 = [r10, 20]       // head of NEXT arc (ready next iteration)
+        ld4 r25 = [r10, 24]       // tail of NEXT arc
+        ld4 r4 = [r10]            // cost of current arc
+        shli r7 = r5, 2
+        add r7 = r7, r12
+        ld4 r8 = [r7]             // head potential: random 2MB, starts in A
+        shli r9 = r6, 2
+        add r9 = r9, r12
+        ld4 r13 = [r9]            // tail potential: starts in A
+        shli r14 = r21, 1         // basis bookkeeping (independent ALU work)
+        xor r14 = r14, r20
+        andi r15 = r14, 1023
+        add r21 = r21, r15
+        sub r16 = r4, r8
+        add r16 = r16, r13        // reduced cost
+        cmpi.lt p1 = r16, 0
+        (p1) st4 [r10, 12] = r16  // price the arc into the basis
+        (p1) addi r20 = r20, 1
+        mov r5 = r24              // rotate the pipelined fields
+        mov r6 = r25
+        addi r10 = r10, 16
+        cmp.ltu p15 = r10, r11
+        (p15) br arc
+        addi r40 = r40, -1
+        cmpi.ne p14 = r40, 0
+        (p14) br pass
+        movi r30 = 0x12000000
+        st4 [r30] = r20
+        st4 [r30, 4] = r21
+        halt ;;
+`
+	return assemble("181.mcf", src, func(img *mem.Image, rng *rand.Rand) {
+		for i := 0; i < arcs; i++ {
+			a := uint32(arcBase + i*16)
+			img.WriteU32(a, uint32(rng.Intn(2000)-1000)) // cost
+			img.WriteU32(a+4, uint32(rng.Intn(nodeWords)))
+			img.WriteU32(a+8, uint32(rng.Intn(nodeWords)))
+		}
+		for i := 0; i < nodeWords; i += 128 {
+			// Sparse init is enough: untouched words read zero, and the
+			// cache behaviour depends only on addresses.
+			img.WriteU32(uint32(nodeBase+i*4), rng.Uint32()%4096)
+		}
+	})
+}
+
+// buildGap reproduces 254.gap's signature: serial pointer chasing p[p[p[…]]]
+// over a footprint far beyond the L3. Only the first hop of each chain has
+// an address available early; every later hop depends on an outstanding
+// main-memory miss and is deferred, so most of gap's substantial memory
+// latency is initiated in the B-pipe — which is why the paper sees only a
+// small improvement for it.
+func buildGap() *program.Program {
+	const (
+		qBase  = 0x1000_0000
+		pBase  = 0x1080_0000
+		chains = 192       // chain starts
+		hops   = 64        // serial hops per chain
+		pWords = 1_048_576 // 4MB
+	)
+	src := `
+        movi r10 = 0x10000000     // q cursor
+        movi r11 = 0x10000300     // q end (192 * 4)
+        movi r12 = 0x10800000     // p base
+        movi r20 = 0 ;;
+chain:  ld4 r4 = [r10]            // chain start (independent)
+hop:    movi r14 = 64             // hops per chain
+hloop:  andi r5 = r4, 0x3FFFFC
+        add r5 = r5, r12
+        ld4 r4 = [r5]             // p[x]: strictly serial pointer chase
+        add r20 = r20, r4
+        addi r14 = r14, -1
+        cmpi.ne p1 = r14, 0
+        (p1) br hloop
+        addi r10 = r10, 4
+        cmp.ltu p15 = r10, r11
+        (p15) br chain
+        movi r30 = 0x12000000
+        st4 [r30] = r20
+        halt ;;
+`
+	return assemble("254.gap", src, func(img *mem.Image, rng *rand.Rand) {
+		for i := 0; i < chains; i++ {
+			img.WriteU32(uint32(qBase+i*4), rng.Uint32())
+		}
+		for i := 0; i < pWords; i++ {
+			img.WriteU32(uint32(pBase+i*4), rng.Uint32())
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package workload provides the benchmark programs of the evaluation: ten
+// synthetic kernels reproducing the memory/branch signatures of the paper's
+// SPEC benchmarks (Table 2), and a seeded random-program generator used for
+// differential testing of the machine models.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/program"
+)
+
+// RandomConfig shapes generated programs.
+type RandomConfig struct {
+	// Iterations of the outer counted loop.
+	Iterations int
+	// BodyActions is the number of random actions per loop body.
+	BodyActions int
+	// ArrayBytes is the data footprint (rounded up to a power of two);
+	// larger arrays produce more cache misses.
+	ArrayBytes int
+	// Calls enables random leaf-function calls.
+	Calls bool
+	// IndirectBranches enables computed two-way jumps through br.ind,
+	// exercising the BTB and fetch-stall (no-prediction) paths. Programs
+	// generated with this set cannot pass through sched.Schedule or
+	// sched.IfConvert (indirect targets are not remappable).
+	IndirectBranches bool
+}
+
+// DefaultRandomConfig returns a generator configuration that exercises
+// loads, stores, predication, floating point, branches and calls with a
+// footprint spilling the L1 cache.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{Iterations: 40, BodyActions: 30, ArrayBytes: 64 << 10, Calls: true}
+}
+
+// Random generates a deterministic pseudo-random program from seed. The
+// program always terminates: its only backward branch is a counted loop, and
+// every memory access is masked into the data array. Generated programs put
+// one instruction per issue group; pass them through the sched package to
+// exercise wider groups.
+func Random(seed int64, cfg RandomConfig) *program.Program {
+	rng := rand.New(rand.NewSource(seed))
+	size := 1024
+	for size < cfg.ArrayBytes {
+		size <<= 1
+	}
+	mask := int32(size-1) &^ 7
+
+	b := program.NewBuilder(fmt.Sprintf("random-%d", seed))
+	const base = 0x1000_0000
+	data := b.Data()
+	for i := 0; i < size; i += 4 {
+		data.WriteU32(uint32(base+i), rng.Uint32())
+	}
+
+	// Register conventions: r1-r20 working, r40-r42 address temps,
+	// r50 array base, r60 loop counter, r63 link, f2-f9 working,
+	// p1-p7 working, p15 loop predicate.
+	intReg := func() isa.Reg { return isa.R(1 + rng.Intn(20)) }
+	fpReg := func() isa.Reg { return isa.F(2 + rng.Intn(8)) }
+	predReg := func() isa.Reg { return isa.P(1 + rng.Intn(7)) }
+	emit := func(in isa.Inst) {
+		b.Emit(in)
+		b.Stop()
+	}
+
+	emit(isa.Inst{Op: isa.OpMovI, Dst: isa.R(50), Src1: isa.RegNone, Src2: isa.RegNone, Imm: base})
+	emit(isa.Inst{Op: isa.OpMovI, Dst: isa.R(60), Src1: isa.RegNone, Src2: isa.RegNone, Imm: int32(cfg.Iterations)})
+	for i := 1; i <= 20; i++ {
+		emit(isa.Inst{Op: isa.OpMovI, Dst: isa.R(i), Src1: isa.RegNone, Src2: isa.RegNone, Imm: int32(rng.Uint32())})
+	}
+	for i := 2; i <= 9; i++ {
+		emit(isa.Inst{Op: isa.OpI2F, Dst: isa.F(i), Src1: isa.R(1 + rng.Intn(20)), Src2: isa.RegNone})
+	}
+
+	// Leaf functions.
+	nLeaves := 0
+	if cfg.Calls {
+		nLeaves = 2
+		b.Br(isa.P(0), "main")
+		b.Stop()
+		for l := 0; l < nLeaves; l++ {
+			b.Label(fmt.Sprintf("leaf%d", l))
+			emit(isa.Inst{Op: isa.OpAddI, Dst: isa.R(30 + l), Src1: isa.R(30 + l), Src2: isa.RegNone, Imm: int32(l + 1)})
+			emit(isa.Inst{Op: isa.OpXor, Dst: isa.R(32), Src1: isa.R(30 + l), Src2: isa.R(32)})
+			emit(isa.Inst{Op: isa.OpBrRet, Dst: isa.RegNone, Src1: isa.R(63), Src2: isa.RegNone})
+		}
+		b.Label("main")
+	}
+
+	b.Label("top")
+	// Pending forward-branch labels: label -> actions remaining.
+	type pending struct {
+		label string
+		left  int
+	}
+	var pendings []pending
+	nextLabel := 0
+	addr := func() { // compute a masked in-array address into r40
+		emit(isa.Inst{Op: isa.OpAndI, Dst: isa.R(40), Src1: intReg(), Src2: isa.RegNone, Imm: mask})
+		emit(isa.Inst{Op: isa.OpAdd, Dst: isa.R(40), Src1: isa.R(40), Src2: isa.R(50)})
+	}
+
+	for a := 0; a < cfg.BodyActions; a++ {
+		for i := 0; i < len(pendings); {
+			if pendings[i].left <= 0 {
+				b.Label(pendings[i].label)
+				pendings = append(pendings[:i], pendings[i+1:]...)
+				continue
+			}
+			pendings[i].left--
+			i++
+		}
+		actions := 10
+		if cfg.IndirectBranches {
+			actions = 11
+		}
+		switch rng.Intn(actions) {
+		case 0, 1: // three-operand ALU
+			ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpMul, isa.OpShl, isa.OpSar}
+			emit(isa.Inst{Op: ops[rng.Intn(len(ops))], Dst: intReg(), Src1: intReg(), Src2: intReg()})
+		case 2: // immediate ALU, possibly predicated
+			ops := []isa.Op{isa.OpAddI, isa.OpAndI, isa.OpXorI, isa.OpShlI, isa.OpShrI}
+			in := isa.Inst{Op: ops[rng.Intn(len(ops))], Dst: intReg(), Src1: intReg(), Src2: isa.RegNone, Imm: int32(rng.Intn(64))}
+			if rng.Intn(3) == 0 {
+				in.Pred = predReg()
+			}
+			emit(in)
+		case 3: // compare
+			ops := []isa.Op{isa.OpCmpEq, isa.OpCmpNe, isa.OpCmpLt, isa.OpCmpLtU, isa.OpCmpLe}
+			emit(isa.Inst{Op: ops[rng.Intn(len(ops))], Dst: predReg(), Src1: intReg(), Src2: intReg()})
+		case 4, 5: // load (sometimes predicated)
+			addr()
+			in := isa.Inst{Op: isa.OpLd4, Dst: intReg(), Src1: isa.R(40), Src2: isa.RegNone, Imm: int32(rng.Intn(2) * 4)}
+			if rng.Intn(4) == 0 {
+				in.Pred = predReg()
+			}
+			emit(in)
+		case 6: // store (sometimes predicated, sometimes sub-word)
+			addr()
+			op := isa.OpSt4
+			if rng.Intn(3) == 0 {
+				op = []isa.Op{isa.OpSt1, isa.OpSt2}[rng.Intn(2)]
+			}
+			in := isa.Inst{Op: op, Dst: isa.RegNone, Src1: isa.R(40), Src2: intReg(), Imm: int32(rng.Intn(2) * 4)}
+			if rng.Intn(4) == 0 {
+				in.Pred = predReg()
+			}
+			emit(in)
+		case 7: // floating point
+			switch rng.Intn(4) {
+			case 0:
+				emit(isa.Inst{Op: isa.OpFAdd, Dst: fpReg(), Src1: fpReg(), Src2: fpReg()})
+			case 1:
+				emit(isa.Inst{Op: isa.OpFMul, Dst: fpReg(), Src1: fpReg(), Src2: fpReg()})
+			case 2:
+				emit(isa.Inst{Op: isa.OpI2F, Dst: fpReg(), Src1: intReg(), Src2: isa.RegNone})
+			case 3:
+				emit(isa.Inst{Op: isa.OpFCmpLt, Dst: predReg(), Src1: fpReg(), Src2: fpReg()})
+			}
+		case 8: // data-dependent forward branch
+			lbl := fmt.Sprintf("fwd%d", nextLabel)
+			nextLabel++
+			p := predReg()
+			emit(isa.Inst{Op: isa.OpCmpLtU, Dst: p, Src1: intReg(), Src2: intReg()})
+			b.Br(p, lbl)
+			b.Stop()
+			pendings = append(pendings, pending{lbl, 1 + rng.Intn(4)})
+		case 9: // call a leaf
+			if nLeaves > 0 {
+				b.Call(isa.R(63), fmt.Sprintf("leaf%d", rng.Intn(nLeaves)))
+				b.Stop()
+			} else {
+				emit(isa.Inst{Op: isa.OpAddI, Dst: intReg(), Src1: intReg(), Src2: isa.RegNone, Imm: 1})
+			}
+		case 10: // data-dependent indirect two-way jump (BTB exercise)
+			aL := fmt.Sprintf("ind%dA", nextLabel)
+			bL := fmt.Sprintf("ind%dB", nextLabel)
+			jL := fmt.Sprintf("ind%dJ", nextLabel)
+			nextLabel++
+			p := predReg()
+			emit(isa.Inst{Op: isa.OpAndI, Dst: isa.R(41), Src1: intReg(), Src2: isa.RegNone, Imm: 1})
+			emit(isa.Inst{Op: isa.OpCmpEqI, Dst: p, Src1: isa.R(41), Src2: isa.RegNone, Imm: 0})
+			b.MovLabel(isa.P(0), isa.R(42), aL)
+			b.Stop()
+			b.MovLabel(p, isa.R(42), bL)
+			b.Stop()
+			emit(isa.Inst{Op: isa.OpBrInd, Dst: isa.RegNone, Src1: isa.R(42), Src2: isa.RegNone})
+			b.Label(aL)
+			emit(isa.Inst{Op: isa.OpXorI, Dst: intReg(), Src1: intReg(), Src2: isa.RegNone, Imm: 3})
+			b.Br(isa.P(0), jL)
+			b.Stop()
+			b.Label(bL)
+			emit(isa.Inst{Op: isa.OpAddI, Dst: intReg(), Src1: intReg(), Src2: isa.RegNone, Imm: 5})
+			b.Label(jL)
+		}
+	}
+	for _, pend := range pendings {
+		b.Label(pend.label)
+	}
+	// Fold the FP state into an integer so differential tests see it.
+	emit(isa.Inst{Op: isa.OpFAdd, Dst: isa.F(2), Src1: isa.F(2), Src2: isa.F(3)})
+	emit(isa.Inst{Op: isa.OpF2I, Dst: isa.R(33), Src1: isa.F(2), Src2: isa.RegNone})
+	emit(isa.Inst{Op: isa.OpAddI, Dst: isa.R(60), Src1: isa.R(60), Src2: isa.RegNone, Imm: -1})
+	emit(isa.Inst{Op: isa.OpCmpNeI, Dst: isa.P(15), Src1: isa.R(60), Src2: isa.RegNone, Imm: 0})
+	b.Br(isa.P(15), "top")
+	b.Stop()
+	b.Halt()
+	return b.MustBuild()
+}
