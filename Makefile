@@ -1,0 +1,23 @@
+# Tier-1 gate: everything a change must pass before merging.
+# `make ci` is the documented equivalent of the checks run in CI.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -18,6 +18,7 @@
 package fleaflicker
 
 import (
+	"context"
 	"testing"
 
 	"fleaflicker/internal/arch"
@@ -25,6 +26,7 @@ import (
 	"fleaflicker/internal/experiments"
 	"fleaflicker/internal/sched"
 	"fleaflicker/internal/stats"
+	"fleaflicker/internal/trace"
 	"fleaflicker/internal/workload"
 )
 
@@ -255,6 +257,34 @@ func BenchmarkSimSpeed(b *testing.B) {
 			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instr/s")
 		})
 	}
+}
+
+// BenchmarkTraceOverhead measures the cost of the observability layer on
+// the two-pass machine: "off" is Simulate with no sink (the zero-overhead
+// claim — every emission site reduces to a nil check), "counting" attaches
+// a minimal sink, and "ring" a buffering one.
+func BenchmarkTraceOverhead(b *testing.B) {
+	bench, _ := workload.ByName("300.twolf")
+	run := func(b *testing.B, opts ...core.Option) {
+		var instrs int64
+		for i := 0; i < b.N; i++ {
+			r, err := core.Simulate(context.Background(), core.TwoPass, bench.Program(), opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += r.Instructions
+		}
+		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instr/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("counting", func(b *testing.B) {
+		var n int64
+		run(b, core.WithTrace(trace.FuncSink(func(trace.Event) { n++ })))
+		b.ReportMetric(float64(n)/float64(b.N), "events/run")
+	})
+	b.Run("ring", func(b *testing.B) {
+		run(b, core.WithTrace(trace.NewRingSink(1<<16)))
+	})
 }
 
 func BenchmarkCheckpointRepair(b *testing.B) {

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"fleaflicker/internal/core"
 	"fleaflicker/internal/experiments"
@@ -18,6 +20,8 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var (
 		fig6       = flag.Bool("fig6", false, "Figure 6: normalized execution cycles (base/2P/2Pre)")
 		fig7       = flag.Bool("fig7", false, "Figure 7: initiated access cycles by level and pipe")
@@ -66,7 +70,7 @@ func main() {
 			models = core.Models()
 		}
 		var err error
-		suite, err = experiments.RunSuite(cfg, models, benches, *verify)
+		suite, err = experiments.RunSuite(ctx, cfg, models, benches, *verify)
 		if err != nil {
 			fatal(err)
 		}

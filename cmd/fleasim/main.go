@@ -6,19 +6,26 @@
 //
 //	fleasim [-model base|2P|2Pre|runahead] [-verify] [-sched]
 //	        [-feedback N] [-cq N] [-alat N] [-throttle N] [-anticipable]
+//	        [-trace FILE.json] [-jsonl FILE.jsonl]
 //	        (-bench NAME | -random SEED | FILE.s)
+//
+// -trace writes a Chrome trace_event file (open in about:tracing or
+// Perfetto); -jsonl writes one trace event per line as JSON.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"fleaflicker/internal/core"
 	"fleaflicker/internal/mem"
 	"fleaflicker/internal/program"
 	"fleaflicker/internal/sched"
 	"fleaflicker/internal/stats"
+	"fleaflicker/internal/trace"
 	"fleaflicker/internal/workload"
 )
 
@@ -37,6 +44,8 @@ func main() {
 		checkpoint   = flag.Bool("checkpoint", false, "two-pass: checkpointed A-file branch recovery (§3.6)")
 		sbSize       = flag.Int("sb", 0, "two-pass: speculative store buffer capacity (0 = unbounded)")
 		conflictPred = flag.Bool("conflictpred", false, "two-pass: store-wait conflict predictor (§3.4)")
+		chromeOut    = flag.String("trace", "", "write a Chrome trace_event file (about:tracing/Perfetto)")
+		jsonlOut     = flag.String("jsonl", "", "write the event stream as JSON lines")
 	)
 	flag.Parse()
 
@@ -69,15 +78,43 @@ func main() {
 	cfg.SBSize = *sbSize
 	cfg.ConflictPredictor = *conflictPred
 
-	run := core.Run
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []core.Option{core.WithConfig(cfg)}
 	if *verify {
-		run = core.RunVerified
+		opts = append(opts, core.WithVerify())
 	}
-	r, err := run(model, cfg, prog)
+	if *chromeOut != "" && *jsonlOut != "" {
+		fatal(fmt.Errorf("-trace and -jsonl are mutually exclusive"))
+	}
+	var traceFile *os.File
+	if out := *chromeOut + *jsonlOut; out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		if *chromeOut != "" {
+			opts = append(opts, core.WithTrace(trace.NewChromeSink(f)))
+		} else {
+			opts = append(opts, core.WithTrace(trace.NewJSONLSink(f)))
+		}
+	}
+
+	r, err := core.Simulate(ctx, model, prog, opts...)
+	if traceFile != nil {
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
 	report(r)
+	if traceFile != nil {
+		fmt.Printf("trace written to %s\n", traceFile.Name())
+	}
 	if *verify {
 		fmt.Println("verified: architectural state matches the reference executor")
 	}

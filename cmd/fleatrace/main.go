@@ -1,23 +1,24 @@
 // Command fleatrace prints a per-cycle, two-pipe execution trace of a
 // program on the two-pass machine — the Figure 4 view: what the A-pipe
 // dispatched (executed or deferred), what the B-pipe retired or stalled on,
-// and every flush.
+// and every flush. The text view is rendered from the same trace.Event
+// stream the machines emit; -chrome and -jsonl export that stream instead.
 //
 // Usage:
 //
-//	fleatrace [-bench NAME | -random SEED | FILE.s] [-from N] [-cycles N] [-regroup]
+//	fleatrace [-bench NAME | -random SEED | FILE.s] [-from N] [-cycles N]
+//	          [-regroup] [-chrome FILE.json] [-jsonl FILE.jsonl]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"fleaflicker/internal/core"
-	"fleaflicker/internal/pipeline"
 	"fleaflicker/internal/program"
-	"fleaflicker/internal/stats"
-	"fleaflicker/internal/twopass"
+	"fleaflicker/internal/trace"
 	"fleaflicker/internal/workload"
 )
 
@@ -29,6 +30,8 @@ func main() {
 		cycles     = flag.Int64("cycles", 200, "number of cycles to print")
 		regroup    = flag.Bool("regroup", false, "enable B-pipe instruction regrouping (2Pre)")
 		dump       = flag.Bool("dump", false, "print the program listing before tracing")
+		chromeOut  = flag.String("chrome", "", "write a Chrome trace_event file instead of text")
+		jsonlOut   = flag.String("jsonl", "", "write the event stream as JSON lines instead of text")
 	)
 	flag.Parse()
 
@@ -40,58 +43,72 @@ func main() {
 		fmt.Println(prog.Dump())
 	}
 
-	cfg := core.DefaultConfig().TwoPassConfig(*regroup)
-	m, err := twopass.New(cfg, prog)
+	model := core.TwoPass
+	if *regroup {
+		model = core.TwoPassRegroup
+	}
+
+	var sink trace.Sink
+	var traceFile *os.File
+	switch {
+	case *chromeOut != "" && *jsonlOut != "":
+		fatal(fmt.Errorf("-chrome and -jsonl are mutually exclusive"))
+	case *chromeOut != "":
+		if traceFile, err = os.Create(*chromeOut); err != nil {
+			fatal(err)
+		}
+		sink = trace.NewChromeSink(traceFile)
+	case *jsonlOut != "":
+		if traceFile, err = os.Create(*jsonlOut); err != nil {
+			fatal(err)
+		}
+		sink = trace.NewJSONLSink(traceFile)
+	default:
+		sink = textRenderer(*from, *from+*cycles)
+	}
+
+	r, err := core.Simulate(context.Background(), model, prog, core.WithTrace(sink))
+	if traceFile != nil {
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
-	to := *from + *cycles
-	inWindow := func(now int64) bool { return now >= *from && now < to }
-	m.OnADispatch = func(now int64, d *pipeline.DynInst) {
-		if !inWindow(now) {
-			return
-		}
-		state := "exec "
-		switch {
-		case d.Deferred:
-			state = "DEFER"
-		case d.In.Op.IsLoad() && d.Done:
-			state = fmt.Sprintf("load@%s", d.Level)
-		}
-		fmt.Printf("%8d  A  %-6s #%-6d pc=%-5d %s\n", now, state, d.ID, d.PC, d.In)
-	}
-	m.OnBRetire = func(now int64, d *pipeline.DynInst) {
-		if !inWindow(now) {
-			return
-		}
-		state := "merge"
-		if d.Deferred {
-			state = "exec "
-		}
-		fmt.Printf("%8d    B   %-6s #%-6d pc=%-5d %s\n", now, state, d.ID, d.PC, d.In)
-	}
-	lastBlocked := int64(-1)
-	m.OnBBlocked = func(now int64, cls stats.CycleClass) {
-		if !inWindow(now) {
-			return
-		}
-		// Summarize contiguous stall runs instead of one line per cycle.
-		if lastBlocked != now-1 {
-			fmt.Printf("%8d    B   stall (%s)\n", now, cls)
-		}
-		lastBlocked = now
-	}
-	m.OnFlush = func(now int64, from uint64, redirect int32) {
-		if !inWindow(now) {
-			return
-		}
-		fmt.Printf("%8d    B   FLUSH from #%d, refetch pc=%d\n", now, from, redirect)
-	}
-	r, err := m.Run()
-	if err != nil {
-		fatal(err)
+	if traceFile != nil {
+		fmt.Printf("trace written to %s\n", traceFile.Name())
 	}
 	fmt.Printf("\ntotal: %d cycles, %d instructions, IPC %.3f\n", r.Cycles, r.Instructions, r.IPC())
+}
+
+// textRenderer converts the raw event stream back into the Figure 4 text
+// view within the [from, to) cycle window.
+func textRenderer(from, to int64) trace.Sink {
+	lastBlocked := int64(-1)
+	return trace.FuncSink(func(e trace.Event) {
+		if e.Cycle < from || e.Cycle >= to {
+			return
+		}
+		switch {
+		case e.Type == trace.EvDefer:
+			fmt.Printf("%8d  A  %-6s #%-6d pc=%-5d %s\n", e.Cycle, "DEFER", e.ID, e.PC, e.Note)
+		case e.Type == trace.EvPreExec && e.Pipe == trace.PipeA:
+			fmt.Printf("%8d  A  %-6s #%-6d pc=%-5d %s\n", e.Cycle, "exec ", e.ID, e.PC, e.Note)
+		case e.Type == trace.EvMerge:
+			fmt.Printf("%8d    B   %-6s #%-6d pc=%-5d %s\n", e.Cycle, "merge", e.ID, e.PC, e.Note)
+		case e.Type == trace.EvReplay:
+			fmt.Printf("%8d    B   %-6s #%-6d pc=%-5d %s\n", e.Cycle, "exec ", e.ID, e.PC, e.Note)
+		case e.Type == trace.EvStall && e.Pipe == trace.PipeB:
+			// Summarize contiguous stall runs instead of one line per cycle.
+			if lastBlocked != e.Cycle-1 {
+				fmt.Printf("%8d    B   stall (%s)\n", e.Cycle, e.Note)
+			}
+			lastBlocked = e.Cycle
+		case e.Type == trace.EvFlush:
+			fmt.Printf("%8d    B   FLUSH from #%d, refetch pc=%d\n", e.Cycle, e.ID, e.Arg)
+		}
+	})
 }
 
 func loadProgram(bench string, seed int64, args []string) (*program.Program, error) {

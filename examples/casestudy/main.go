@@ -6,12 +6,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"fleaflicker/internal/core"
-	"fleaflicker/internal/pipeline"
-	"fleaflicker/internal/twopass"
+	"fleaflicker/internal/trace"
 	"fleaflicker/internal/workload"
 )
 
@@ -25,7 +26,7 @@ func main() {
 	fmt.Println("The mcf pricing loop (scheduled issue groups):")
 	fmt.Println(prog.Dump()[:900] + "  ...\n")
 
-	base, err := core.Run(core.Baseline, core.DefaultConfig(), prog)
+	base, err := core.Simulate(context.Background(), core.Baseline, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,34 +34,33 @@ func main() {
 		base.Cycles, 100*float64(base.MemStallCycles())/float64(base.Cycles))
 
 	fmt.Println("Two-pass execution, cycles 300-320 (A-pipe left, B-pipe right):")
-	m, err := twopass.New(core.DefaultConfig().TwoPassConfig(false), prog)
-	if err != nil {
-		log.Fatal(err)
-	}
 	const from, to = 300, 320
-	m.OnADispatch = func(now int64, d *pipeline.DynInst) {
-		if now < from || now >= to {
+	window := trace.FuncSink(func(e trace.Event) {
+		if e.Cycle < from || e.Cycle >= to {
 			return
 		}
-		tag := "executes"
-		if d.Deferred {
-			tag = "DEFERRED to B-pipe"
-		} else if d.In.Op.IsLoad() {
-			tag = fmt.Sprintf("load starts (%s)", d.Level)
+		switch e.Type {
+		case trace.EvDefer:
+			fmt.Printf("  %5d  A: %-28s %s\n", e.Cycle, e.Note, "DEFERRED to B-pipe")
+		case trace.EvPreExec:
+			// Pre-executed loads carry their serving level as a " @L2"-style
+			// suffix. Branch targets also contain "@", so only a trailing
+			// level name counts.
+			in, tag := e.Note, "executes"
+			if i := strings.LastIndex(in, " @"); i >= 0 {
+				switch lvl := in[i+2:]; lvl {
+				case "L1", "L2", "L3", "Mem":
+					in, tag = in[:i], fmt.Sprintf("load starts (%s)", lvl)
+				}
+			}
+			fmt.Printf("  %5d  A: %-28s %s\n", e.Cycle, in, tag)
+		case trace.EvMerge:
+			fmt.Printf("  %5d  B:   %-26s %s\n", e.Cycle, e.Note, "merges A result")
+		case trace.EvReplay:
+			fmt.Printf("  %5d  B:   %-26s %s\n", e.Cycle, e.Note, "executes (was deferred)")
 		}
-		fmt.Printf("  %5d  A: %-28s %s\n", now, d.In.String(), tag)
-	}
-	m.OnBRetire = func(now int64, d *pipeline.DynInst) {
-		if now < from || now >= to {
-			return
-		}
-		tag := "merges A result"
-		if d.Deferred {
-			tag = "executes (was deferred)"
-		}
-		fmt.Printf("  %5d  B:   %-26s %s\n", now, d.In.String(), tag)
-	}
-	r, err := m.Run()
+	})
+	r, err := core.Simulate(context.Background(), core.TwoPass, prog, core.WithTrace(window))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	for _, lat := range []int{0, 1, 2, 4, 8, -1} {
 		cfg := core.DefaultConfig()
 		cfg.FeedbackLatency = lat
-		r, err := core.Run(core.TwoPass, cfg, prog)
+		r, err := core.Simulate(context.Background(), core.TwoPass, prog, core.WithConfig(cfg))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -43,7 +44,7 @@ func main() {
 	for _, size := range []int{16, 32, 64, 128, 256} {
 		cfg := core.DefaultConfig()
 		cfg.CQSize = size
-		r, err := core.Run(core.TwoPass, cfg, mcf.Program())
+		r, err := core.Simulate(context.Background(), core.TwoPass, mcf.Program(), core.WithConfig(cfg))
 		if err != nil {
 			log.Fatal(err)
 		}

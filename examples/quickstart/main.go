@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,7 @@ func main() {
 	cfg := core.DefaultConfig()
 	var baseCycles int64
 	for _, model := range []core.Model{core.Baseline, core.TwoPass, core.TwoPassRegroup} {
-		r, err := core.RunVerified(model, cfg, p)
+		r, err := core.Simulate(context.Background(), model, p, core.WithConfig(cfg), core.WithVerify())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,11 +21,11 @@ func main() {
 	cfg := core.DefaultConfig()
 	for _, b := range workload.Suite() {
 		p := b.Program()
-		r2, err := core.Run(core.TwoPass, cfg, p)
+		r2, err := core.Simulate(context.Background(), core.TwoPass, p, core.WithConfig(cfg))
 		if err != nil {
 			log.Fatal(err)
 		}
-		r2re, err := core.Run(core.TwoPassRegroup, cfg, p)
+		r2re, err := core.Simulate(context.Background(), core.TwoPassRegroup, p, core.WithConfig(cfg))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -36,8 +37,8 @@ func main() {
 	// Where does the gain come from? Compare the unstalled-cycle share:
 	// regrouping retires the same instructions in fewer dispatch cycles.
 	b, _ := workload.ByName("183.equake")
-	r2, _ := core.Run(core.TwoPass, cfg, b.Program())
-	r2re, _ := core.Run(core.TwoPassRegroup, cfg, b.Program())
+	r2, _ := core.Simulate(context.Background(), core.TwoPass, b.Program(), core.WithConfig(cfg))
+	r2re, _ := core.Simulate(context.Background(), core.TwoPassRegroup, b.Program(), core.WithConfig(cfg))
 	fmt.Printf("\n183.equake unstalled dispatch cycles: 2P %d -> 2Pre %d\n",
 		r2.ByClass[stats.Unstalled], r2re.ByClass[stats.Unstalled])
 	fmt.Println("(the B-pipe issues merged groups while draining its queue backlog)")

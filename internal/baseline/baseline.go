@@ -12,15 +12,18 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"fleaflicker/internal/arch"
 	"fleaflicker/internal/bpred"
 	"fleaflicker/internal/isa"
 	"fleaflicker/internal/mem"
+	"fleaflicker/internal/metrics"
 	"fleaflicker/internal/pipeline"
 	"fleaflicker/internal/program"
 	"fleaflicker/internal/stats"
+	"fleaflicker/internal/trace"
 )
 
 // Config parameterizes the machine.
@@ -62,7 +65,9 @@ type Machine struct {
 
 	now    int64
 	halted bool
-	run    stats.Run
+	col    *stats.Collector
+	tr     *trace.Tracer
+	ctx    context.Context
 }
 
 // New builds a machine over a fresh copy of the program's memory. The
@@ -79,13 +84,24 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 		hier: hier,
 		st:   arch.NewState(prog.InitialImage()),
 	}
-	m.run.Benchmark = prog.Name
-	m.run.Model = "base"
+	m.col = stats.NewCollector(metrics.NewRegistry(), prog.Name, "base")
 	return m, nil
 }
 
 // State exposes the architectural state (for correctness comparison).
 func (m *Machine) State() *arch.State { return m.st }
+
+// Attach binds the machine's observability before Run: ctx cancels the
+// cycle loop, reg (when non-nil) replaces the private metrics registry, and
+// tr (which may be nil) receives trace events. Must not be called after Run
+// has started.
+func (m *Machine) Attach(ctx context.Context, reg *metrics.Registry, tr *trace.Tracer) {
+	if reg != nil {
+		m.col = stats.NewCollector(reg, m.prog.Name, "base")
+	}
+	m.ctx = ctx
+	m.tr = tr
+}
 
 // Run simulates to completion and returns the measurements.
 func (m *Machine) Run() (*stats.Run, error) {
@@ -93,33 +109,44 @@ func (m *Machine) Run() (*stats.Run, error) {
 		if m.now >= m.cfg.MaxCycles {
 			return nil, fmt.Errorf("baseline: %q exceeded %d cycles", m.prog.Name, m.cfg.MaxCycles)
 		}
+		if m.ctx != nil && m.now&4095 == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return nil, fmt.Errorf("baseline: %q: %w", m.prog.Name, err)
+			}
+		}
 		m.fe.Tick(m.now)
 		m.step()
 		m.now++
 	}
-	m.run.Cycles = m.now
-	m.run.Mem = m.hier.Stats()
-	if err := m.run.CheckInvariants(); err != nil {
+	r := m.col.Snapshot(m.hier.Stats())
+	if err := r.CheckInvariants(); err != nil {
 		return nil, err
 	}
-	r := m.run
-	return &r, nil
+	return r, nil
 }
 
 // step attempts to dispatch the head issue group and classifies the cycle.
 func (m *Machine) step() {
 	g := m.fe.Head(m.now)
 	if g == nil {
-		m.run.ByClass[stats.FrontEndStall]++
+		m.col.Cycle(stats.FrontEndStall)
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvStall, Pipe: trace.PipeFront,
+				PC: -1, Arg: int64(stats.FrontEndStall), Note: stats.FrontEndStall.String()})
+		}
 		return
 	}
 	if cls, blocked := m.groupBlocked(g); blocked {
-		m.run.ByClass[cls]++
+		m.col.Cycle(cls)
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvStall, Pipe: trace.PipeA,
+				PC: g.FetchPC, Arg: int64(cls), Note: cls.String()})
+		}
 		return
 	}
 	m.fe.Pop() // before dispatch: a mispredicted branch flushes the queue
 	m.dispatch(g)
-	m.run.ByClass[stats.Unstalled]++
+	m.col.Cycle(stats.Unstalled)
 }
 
 // groupBlocked applies the REG-stage interlocks: every source of every
@@ -175,7 +202,11 @@ func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, bool) {
 func (m *Machine) dispatch(g *pipeline.Group) {
 	for _, d := range g.Insts {
 		in := d.In
-		m.run.Instructions++
+		m.col.Instruction()
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvDispatch, Pipe: trace.PipeA,
+				ID: d.ID, PC: d.PC, Note: in.String()})
+		}
 		predOn := m.st.Read(in.Pred) != 0
 
 		if in.Op.IsBranch() || in.Op == isa.OpHalt {
@@ -192,14 +223,14 @@ func (m *Machine) dispatch(g *pipeline.Group) {
 		case in.Op.IsLoad():
 			addr := isa.EffectiveAddress(m.st.Read(in.Src1), in.Imm)
 			lat, lvl := m.hier.Load(addr, m.now)
-			m.run.RecordAccess(lvl, stats.PipeA, m.hier.Levels())
+			m.col.Access(lvl, stats.PipeA, m.hier.Levels())
 			m.st.Write(in.Dst, m.st.Mem.Read(addr, in.Op.MemSize()))
 			m.setReady(in.Dst, m.now+int64(lat), true)
 		case in.Op.IsStore():
 			addr := isa.EffectiveAddress(m.st.Read(in.Src1), in.Imm)
 			m.st.Mem.Write(addr, in.Op.MemSize(), m.st.Read(in.Src2))
 			m.hier.Store(addr, m.now)
-			m.run.StoresTotal++
+			m.col.StoreCommitted()
 		default:
 			m.st.Write(in.Dst, isa.Eval(in.Op, m.st.Read(in.Src1), m.st.Read(in.Src2), in.Imm))
 			m.setReady(in.Dst, m.now+int64(in.Op.Latency()), false)
@@ -253,11 +284,20 @@ func (m *Machine) resolveBranch(d *pipeline.DynInst, predOn bool) (squash bool) 
 			pred.UpdateIndirect(d.PC, target)
 		}
 	}
-	if actualNext == d.NextPC && !d.NoPrediction {
+	mispredicted := actualNext != d.NextPC || d.NoPrediction
+	if m.tr.Enabled() {
+		var arg int64
+		if mispredicted {
+			arg = 1
+		}
+		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvBranchResolve, Pipe: trace.PipeA,
+			ID: d.ID, PC: d.PC, Arg: arg, Note: in.String()})
+	}
+	if !mispredicted {
 		return false // correctly predicted
 	}
 	// Misprediction (or an unpredicted indirect): redirect at DET.
-	m.run.MispredictsA++
+	m.col.MispredictA()
 	m.fe.Redirect(actualNext, m.now+pipeline.DETOffset)
 	return true
 }

@@ -1,11 +1,13 @@
 // Package core is the library façade: one configuration type covering every
 // machine model (baseline in-order EPIC, two-pass "flea-flicker" with and
-// without regrouping, and the run-ahead comparator), a single Run entry
-// point, and a verified variant that checks the timed machine's final
-// architectural state against the functional reference executor.
+// without regrouping, and the run-ahead comparator) behind a single
+// Simulate entry point. Functional options attach verification against the
+// functional reference executor, a cycle-level trace sink, and an external
+// metrics registry; the context cancels the machine's cycle loop.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fleaflicker/internal/arch"
@@ -13,10 +15,12 @@ import (
 	"fleaflicker/internal/bpred"
 	"fleaflicker/internal/isa"
 	"fleaflicker/internal/mem"
+	"fleaflicker/internal/metrics"
 	"fleaflicker/internal/pipeline"
 	"fleaflicker/internal/program"
 	"fleaflicker/internal/runahead"
 	"fleaflicker/internal/stats"
+	"fleaflicker/internal/trace"
 	"fleaflicker/internal/twopass"
 )
 
@@ -136,6 +140,7 @@ func (c Config) RunaheadConfig() runahead.Config {
 type machine interface {
 	Run() (*stats.Run, error)
 	State() *arch.State
+	Attach(ctx context.Context, reg *metrics.Registry, tr *trace.Tracer)
 }
 
 func build(model Model, cfg Config, prog *program.Program) (machine, error) {
@@ -153,37 +158,17 @@ func build(model Model, cfg Config, prog *program.Program) (machine, error) {
 }
 
 // Run simulates prog to completion on the selected machine model.
+//
+// Deprecated: use Simulate(ctx, model, prog, WithConfig(cfg)).
 func Run(model Model, cfg Config, prog *program.Program) (*stats.Run, error) {
-	m, err := build(model, cfg, prog)
-	if err != nil {
-		return nil, err
-	}
-	return m.Run()
+	return Simulate(context.Background(), model, prog, WithConfig(cfg))
 }
 
 // RunVerified simulates prog and additionally checks that the machine's
 // final architectural state matches the functional reference executor —
 // the repository's golden correctness invariant.
+//
+// Deprecated: use Simulate(ctx, model, prog, WithConfig(cfg), WithVerify()).
 func RunVerified(model Model, cfg Config, prog *program.Program) (*stats.Run, error) {
-	ref, err := arch.Run(prog, cfg.MaxCycles)
-	if err != nil {
-		return nil, fmt.Errorf("core: reference execution: %w", err)
-	}
-	m, err := build(model, cfg, prog)
-	if err != nil {
-		return nil, err
-	}
-	r, err := m.Run()
-	if err != nil {
-		return nil, err
-	}
-	if !m.State().Equal(ref.State) {
-		return nil, fmt.Errorf("core: %v machine diverged from the reference executor on %q: %s",
-			model, prog.Name, m.State().Diff(ref.State))
-	}
-	if r.Instructions != ref.Instructions {
-		return nil, fmt.Errorf("core: %v retired %d instructions, reference retired %d",
-			model, r.Instructions, ref.Instructions)
-	}
-	return r, nil
+	return Simulate(context.Background(), model, prog, WithConfig(cfg), WithVerify())
 }

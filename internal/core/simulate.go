@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"fleaflicker/internal/arch"
+	"fleaflicker/internal/metrics"
+	"fleaflicker/internal/program"
+	"fleaflicker/internal/stats"
+	"fleaflicker/internal/trace"
+)
+
+// Option configures one Simulate call. Options are applied in order, so a
+// later option overrides an earlier one.
+type Option func(*options)
+
+type options struct {
+	cfg     Config
+	verify  bool
+	sink    trace.Sink
+	reg     *metrics.Registry
+	closeMu bool // close the sink when Simulate returns
+}
+
+// WithConfig replaces the default (Table 1) machine configuration.
+func WithConfig(cfg Config) Option {
+	return func(o *options) { o.cfg = cfg }
+}
+
+// WithVerify checks the machine's final architectural state against the
+// functional reference executor — the repository's golden correctness
+// invariant — and fails the simulation on any divergence.
+func WithVerify() Option {
+	return func(o *options) { o.verify = true }
+}
+
+// WithTrace streams cycle-level events into sink for the duration of the
+// run. Simulate closes the sink before returning, so file-backed sinks
+// (JSONL, Chrome) are complete when it does. A nil sink disables tracing
+// (the default): no events are constructed at all, so the disabled path
+// costs one nil check per emission site.
+func WithTrace(sink trace.Sink) Option {
+	return func(o *options) { o.sink = sink; o.closeMu = true }
+}
+
+// WithMetrics makes the machine record its counters into reg instead of a
+// private registry. The returned stats.Run is derived from the same
+// counters (stats.Collector.Snapshot), so the registry and the aggregate
+// report cannot disagree. A registry belongs to one running machine at a
+// time; do not share one across concurrent Simulate calls.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *options) { o.reg = reg }
+}
+
+// Simulate runs prog to completion on the selected machine model. It is the
+// primary entry point: ctx cancels the machine's cycle loop (checked every
+// 4096 cycles), and options attach configuration, verification, tracing,
+// and metrics. With no options it is equivalent to Run with DefaultConfig.
+func Simulate(ctx context.Context, model Model, prog *program.Program, opts ...Option) (*stats.Run, error) {
+	o := options{cfg: DefaultConfig()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	var ref *arch.Result
+	if o.verify {
+		r, err := arch.Run(prog, o.cfg.MaxCycles)
+		if err != nil {
+			return nil, fmt.Errorf("core: reference execution: %w", err)
+		}
+		ref = r
+	}
+
+	m, err := build(model, o.cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	var tr *trace.Tracer
+	if o.sink != nil {
+		tr = trace.New(o.sink)
+	}
+	m.Attach(ctx, o.reg, tr)
+
+	r, runErr := m.Run()
+	if o.closeMu && o.sink != nil {
+		if cerr := o.sink.Close(); cerr != nil && runErr == nil {
+			runErr = fmt.Errorf("core: closing trace sink: %w", cerr)
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	if o.verify {
+		if !m.State().Equal(ref.State) {
+			return nil, fmt.Errorf("core: %v machine diverged from the reference executor on %q: %s",
+				model, prog.Name, m.State().Diff(ref.State))
+		}
+		if r.Instructions != ref.Instructions {
+			return nil, fmt.Errorf("core: %v retired %d instructions, reference retired %d",
+				model, r.Instructions, ref.Instructions)
+		}
+	}
+	return r, nil
+}

@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -34,8 +36,11 @@ func (s *SuiteRuns) Get(bench string, model core.Model) *stats.Run {
 }
 
 // RunSuite simulates every benchmark on every model, in parallel. With
-// verified set, each run is checked against the reference executor.
-func RunSuite(cfg core.Config, models []core.Model, benches []*workload.Benchmark, verified bool) (*SuiteRuns, error) {
+// verified set, each run is checked against the reference executor. When
+// ctx is cancelled, no further jobs launch and the jobs already in flight
+// abort at their machines' next cancellation check. Every per-cell failure
+// is reported (joined with errors.Join), not just the first.
+func RunSuite(ctx context.Context, cfg core.Config, models []core.Model, benches []*workload.Benchmark, verified bool) (*SuiteRuns, error) {
 	out := &SuiteRuns{Config: cfg, Runs: make(map[string]map[core.Model]*stats.Run)}
 	for _, b := range benches {
 		out.Benchmarks = append(out.Benchmarks, b.Name)
@@ -53,9 +58,9 @@ func RunSuite(cfg core.Config, models []core.Model, benches []*workload.Benchmar
 		}
 	}
 	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+		wg   sync.WaitGroup
 	)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for _, j := range jobs {
@@ -64,25 +69,29 @@ func RunSuite(cfg core.Config, models []core.Model, benches []*workload.Benchmar
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			run := core.Run
-			if verified {
-				run = core.RunVerified
+			if ctx.Err() != nil {
+				return // cancelled: don't launch this cell
 			}
-			r, err := run(j.model, cfg, j.bench.Program())
+			opts := []core.Option{core.WithConfig(cfg)}
+			if verified {
+				opts = append(opts, core.WithVerify())
+			}
+			r, err := core.Simulate(ctx, j.model, j.bench.Program(), opts...)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%v: %w", j.bench.Name, j.model, err)
-				}
+				errs = append(errs, fmt.Errorf("%s/%v: %w", j.bench.Name, j.model, err))
 				return
 			}
 			out.Runs[j.bench.Name][j.model] = r
 		}(j)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	return out, nil
 }

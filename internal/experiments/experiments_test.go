@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +29,7 @@ func fastBenches(t *testing.T) []*workload.Benchmark {
 }
 
 func TestRunSuiteAndRenderers(t *testing.T) {
-	s, err := RunSuite(core.DefaultConfig(), core.Models(), fastBenches(t), true)
+	s, err := RunSuite(context.Background(), core.DefaultConfig(), core.Models(), fastBenches(t), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +80,7 @@ func TestRunSuiteAndRenderers(t *testing.T) {
 }
 
 func TestSpeedupSummary(t *testing.T) {
-	s, err := RunSuite(core.DefaultConfig(), Fig6Models, fastBenches(t), false)
+	s, err := RunSuite(context.Background(), core.DefaultConfig(), Fig6Models, fastBenches(t), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,8 +150,34 @@ func TestSweeps(t *testing.T) {
 func TestRunSuiteErrorPropagates(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.MaxCycles = 10 // everything times out
-	if _, err := RunSuite(cfg, Fig6Models, fastBenches(t), false); err == nil {
-		t.Errorf("expected timeout error")
+	err := RunSuiteErr(t, cfg)
+	if err == nil {
+		t.Fatalf("expected timeout error")
+	}
+	// Every failing cell must be reported, not just the first: 2 benchmarks
+	// × 3 models all exceed MaxCycles.
+	for _, bench := range []string{"300.twolf", "099.go"} {
+		for _, m := range Fig6Models {
+			cell := fmt.Sprintf("%s/%v", bench, m)
+			if !strings.Contains(err.Error(), cell) {
+				t.Errorf("joined error lacks cell %s: %v", cell, err)
+			}
+		}
+	}
+}
+
+func RunSuiteErr(t *testing.T, cfg core.Config) error {
+	t.Helper()
+	_, err := RunSuite(context.Background(), cfg, Fig6Models, fastBenches(t), false)
+	return err
+}
+
+func TestRunSuiteCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSuite(ctx, core.DefaultConfig(), Fig6Models, fastBenches(t), false)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 
@@ -161,7 +190,7 @@ func TestSortedBenchNames(t *testing.T) {
 }
 
 func TestCSVExport(t *testing.T) {
-	s, err := RunSuite(core.DefaultConfig(), Fig6Models, fastBenches(t), false)
+	s, err := RunSuite(context.Background(), core.DefaultConfig(), Fig6Models, fastBenches(t), false)
 	if err != nil {
 		t.Fatal(err)
 	}

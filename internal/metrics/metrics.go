@@ -1,0 +1,146 @@
+// Package metrics is a small counter/gauge registry. Machines register
+// their counters under canonical names at construction and bump them on the
+// hot path through direct handles (a handle increment is one predictable
+// store — no map lookup, no atomics); the registry is the enumerable view
+// tools and tests read afterwards.
+//
+// internal/stats re-derives its Run aggregates from a registry (see
+// stats.Collector), so end-of-run aggregates, live counter reads, and trace
+// events all observe the same underlying counts and can never disagree.
+//
+// Concurrency: registration (Counter/Gauge lookup-or-create) is mutex
+// guarded, but handle updates are not synchronized — a registry belongs to
+// one running machine. Parallel simulations (experiments.RunSuite) each use
+// their own registry; share only sinks, never a registry.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n (n may be negative only to reverse a speculative count that
+// was squashed; a counter must never go below zero at rest).
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a point-in-time int64 metric (e.g. current queue occupancy).
+type Gauge struct {
+	v int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v = n }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Registry holds named counters and gauges.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the counter registered under name, creating it at zero on
+// first use. The returned handle stays valid for the registry's lifetime.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// CounterValue returns the value of a registered counter, or (0, false)
+// when no counter has that name.
+func (r *Registry) CounterValue(name string) (int64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		return 0, false
+	}
+	return c.Value(), true
+}
+
+// EachCounter calls fn for every registered counter in sorted name order.
+func (r *Registry) EachCounter(fn func(name string, value int64)) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	vals := make([]int64, len(names))
+	for i, name := range names {
+		vals[i] = r.counters[name].Value()
+	}
+	r.mu.Unlock()
+	for i, name := range names {
+		fn(name, vals[i])
+	}
+}
+
+// EachGauge calls fn for every registered gauge in sorted name order.
+func (r *Registry) EachGauge(fn func(name string, value int64)) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	vals := make([]int64, len(names))
+	for i, name := range names {
+		vals[i] = r.gauges[name].Value()
+	}
+	r.mu.Unlock()
+	for i, name := range names {
+		fn(name, vals[i])
+	}
+}
+
+// Dump renders every counter as "name value" lines, sorted — a debugging
+// and golden-test convenience.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	r.EachCounter(func(name string, v int64) {
+		fmt.Fprintf(&b, "%s %d\n", name, v)
+	})
+	return b.String()
+}

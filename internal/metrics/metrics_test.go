@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cycles")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("cycles"); again != c {
+		t.Error("Counter should return the same handle for the same name")
+	}
+	g := r.Gauge("cq.occupancy")
+	g.Set(17)
+	if g.Value() != 17 {
+		t.Errorf("gauge = %d, want 17", g.Value())
+	}
+	if again := r.Gauge("cq.occupancy"); again != g {
+		t.Error("Gauge should return the same handle for the same name")
+	}
+}
+
+func TestCounterValueLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	if v, ok := r.CounterValue("a"); !ok || v != 3 {
+		t.Errorf("CounterValue(a) = %d, %v", v, ok)
+	}
+	if _, ok := r.CounterValue("missing"); ok {
+		t.Error("missing counter should report !ok")
+	}
+}
+
+func TestEachIsSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Inc()
+	r.Counter("a").Add(2)
+	r.Counter("m").Add(3)
+	var names []string
+	var total int64
+	r.EachCounter(func(name string, v int64) {
+		names = append(names, name)
+		total += v
+	})
+	if strings.Join(names, ",") != "a,m,z" {
+		t.Errorf("EachCounter order = %v", names)
+	}
+	if total != 6 {
+		t.Errorf("EachCounter total = %d", total)
+	}
+	r.Gauge("g2").Set(2)
+	r.Gauge("g1").Set(1)
+	names = names[:0]
+	r.EachGauge(func(name string, v int64) { names = append(names, name) })
+	if strings.Join(names, ",") != "g1,g2" {
+		t.Errorf("EachGauge order = %v", names)
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("beta").Add(2)
+	r.Counter("alpha").Add(1)
+	want := "alpha 1\nbeta 2\n"
+	if d := r.Dump(); d != want {
+		t.Errorf("Dump() = %q, want %q", d, want)
+	}
+}

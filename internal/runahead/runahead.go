@@ -15,15 +15,18 @@
 package runahead
 
 import (
+	"context"
 	"fmt"
 
 	"fleaflicker/internal/arch"
 	"fleaflicker/internal/bpred"
 	"fleaflicker/internal/isa"
 	"fleaflicker/internal/mem"
+	"fleaflicker/internal/metrics"
 	"fleaflicker/internal/pipeline"
 	"fleaflicker/internal/program"
 	"fleaflicker/internal/stats"
+	"fleaflicker/internal/trace"
 )
 
 // Config parameterizes the machine.
@@ -80,8 +83,11 @@ type Machine struct {
 
 	now    int64
 	halted bool
-	run    stats.Run
-	// RunaheadEntries/RunaheadInsts count run-ahead activity.
+	col    *stats.Collector
+	tr     *trace.Tracer
+	ctx    context.Context
+	// RunaheadEntries/RunaheadInsts count run-ahead activity. They mirror
+	// the "runahead.entries"/"runahead.insts" registry counters.
 	RunaheadEntries int64
 	RunaheadInsts   int64
 }
@@ -99,19 +105,37 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 		hier: hier,
 		st:   arch.NewState(prog.InitialImage()),
 	}
-	m.run.Benchmark = prog.Name
-	m.run.Model = "runahead"
+	m.col = stats.NewCollector(metrics.NewRegistry(), prog.Name, "runahead")
 	return m, nil
 }
 
 // State exposes the architectural state.
 func (m *Machine) State() *arch.State { return m.st }
 
+// Attach binds the machine's observability before Run: ctx cancels the
+// cycle loop, reg (when non-nil) replaces the private metrics registry, and
+// tr (which may be nil) receives trace events. Must not be called after Run
+// has started.
+func (m *Machine) Attach(ctx context.Context, reg *metrics.Registry, tr *trace.Tracer) {
+	if reg != nil {
+		m.col = stats.NewCollector(reg, m.prog.Name, "runahead")
+	}
+	m.ctx = ctx
+	m.tr = tr
+}
+
 // Run simulates to completion.
 func (m *Machine) Run() (*stats.Run, error) {
+	entries := m.col.Counter("runahead.entries")
+	insts := m.col.Counter("runahead.insts")
 	for !m.halted {
 		if m.now >= m.cfg.MaxCycles {
 			return nil, fmt.Errorf("runahead: %q exceeded %d cycles", m.prog.Name, m.cfg.MaxCycles)
+		}
+		if m.ctx != nil && m.now&4095 == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return nil, fmt.Errorf("runahead: %q: %w", m.prog.Name, err)
+			}
 		}
 		m.fe.Tick(m.now)
 		if m.inRunahead {
@@ -121,13 +145,13 @@ func (m *Machine) Run() (*stats.Run, error) {
 		}
 		m.now++
 	}
-	m.run.Cycles = m.now
-	m.run.Mem = m.hier.Stats()
-	if err := m.run.CheckInvariants(); err != nil {
+	entries.Add(m.RunaheadEntries - entries.Value())
+	insts.Add(m.RunaheadInsts - insts.Value())
+	r := m.col.Snapshot(m.hier.Stats())
+	if err := r.CheckInvariants(); err != nil {
 		return nil, err
 	}
-	r := m.run
-	return &r, nil
+	return r, nil
 }
 
 // stepNormal is the baseline in-order dispatch, except that a load-dependent
@@ -135,12 +159,20 @@ func (m *Machine) Run() (*stats.Run, error) {
 func (m *Machine) stepNormal() {
 	g := m.fe.Head(m.now)
 	if g == nil {
-		m.run.ByClass[stats.FrontEndStall]++
+		m.col.Cycle(stats.FrontEndStall)
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvStall, Pipe: trace.PipeFront,
+				PC: -1, Arg: int64(stats.FrontEndStall), Note: stats.FrontEndStall.String()})
+		}
 		return
 	}
 	cls, until, blocked := m.groupBlocked(g)
 	if blocked {
-		m.run.ByClass[cls]++
+		m.col.Cycle(cls)
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvStall, Pipe: trace.PipeA,
+				PC: g.FetchPC, Arg: int64(cls), Note: cls.String()})
+		}
 		if cls == stats.LoadStall && until-m.now > int64(m.cfg.MinStallCycles) {
 			m.enterRunahead(g, until)
 		}
@@ -148,7 +180,7 @@ func (m *Machine) stepNormal() {
 	}
 	m.fe.Pop()
 	m.dispatch(g)
-	m.run.ByClass[stats.Unstalled]++
+	m.col.Cycle(stats.Unstalled)
 }
 
 // enterRunahead checkpoints architectural register state and begins
@@ -157,6 +189,10 @@ func (m *Machine) stepNormal() {
 // the caches underneath them.
 func (m *Machine) enterRunahead(g *pipeline.Group, until int64) {
 	m.RunaheadEntries++
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvRunaheadEnter, Pipe: trace.PipeB,
+			PC: g.FetchPC, Arg: until - m.now})
+	}
 	m.inRunahead = true
 	m.exitAt = until
 	m.resumePC = g.FetchPC
@@ -171,7 +207,7 @@ func (m *Machine) enterRunahead(g *pipeline.Group, until int64) {
 
 // stepRunahead executes one cycle of run-ahead mode.
 func (m *Machine) stepRunahead() {
-	m.run.ByClass[stats.LoadStall]++ // the architectural pipe is stalled
+	m.col.Cycle(stats.LoadStall) // the architectural pipe is stalled
 	if m.now >= m.exitAt {
 		m.exitRunahead()
 		return
@@ -185,6 +221,10 @@ func (m *Machine) stepRunahead() {
 // exitRunahead restores the checkpoint and redirects fetch to the stalled
 // group.
 func (m *Machine) exitRunahead() {
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvRunaheadExit, Pipe: trace.PipeB,
+			PC: m.resumePC})
+	}
 	m.inRunahead = false
 	m.fe.Redirect(m.resumePC, m.now+int64(m.cfg.ExitPenalty))
 }
@@ -196,6 +236,10 @@ func (m *Machine) runaheadGroup(g *pipeline.Group) {
 	for _, d := range g.Insts {
 		in := d.In
 		m.RunaheadInsts++
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvPreExec, Pipe: trace.PipeB,
+				ID: d.ID, PC: d.PC, Note: in.String()})
+		}
 		pv, pok := m.raRead(in.Pred)
 		if !pok {
 			m.raPoisonDst(in.Dst)
@@ -225,7 +269,7 @@ func (m *Machine) runaheadGroup(g *pipeline.Group) {
 				continue
 			}
 			lat, lvl := m.hier.Load(addr, m.now) // the prefetch
-			m.run.RecordAccess(lvl, stats.PipeA, m.hier.Levels())
+			m.col.Access(lvl, stats.PipeA, m.hier.Levels())
 			if int64(lat) > int64(m.cfg.Mem.L1D.Latency) {
 				// The value would not return within run-ahead reach;
 				// Dundas/Mutlu poison such destinations.
@@ -361,7 +405,11 @@ func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, int64, bool
 func (m *Machine) dispatch(g *pipeline.Group) {
 	for _, d := range g.Insts {
 		in := d.In
-		m.run.Instructions++
+		m.col.Instruction()
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvDispatch, Pipe: trace.PipeA,
+				ID: d.ID, PC: d.PC, Note: in.String()})
+		}
 		predOn := m.st.Read(in.Pred) != 0
 		if in.Op.IsBranch() || in.Op == isa.OpHalt {
 			if m.resolveBranch(d, predOn) {
@@ -377,14 +425,14 @@ func (m *Machine) dispatch(g *pipeline.Group) {
 		case in.Op.IsLoad():
 			addr := isa.EffectiveAddress(m.st.Read(in.Src1), in.Imm)
 			lat, lvl := m.hier.Load(addr, m.now)
-			m.run.RecordAccess(lvl, stats.PipeA, m.hier.Levels())
+			m.col.Access(lvl, stats.PipeA, m.hier.Levels())
 			m.st.Write(in.Dst, m.st.Mem.Read(addr, in.Op.MemSize()))
 			m.setReady(in.Dst, m.now+int64(lat), true)
 		case in.Op.IsStore():
 			addr := isa.EffectiveAddress(m.st.Read(in.Src1), in.Imm)
 			m.st.Mem.Write(addr, in.Op.MemSize(), m.st.Read(in.Src2))
 			m.hier.Store(addr, m.now)
-			m.run.StoresTotal++
+			m.col.StoreCommitted()
 		default:
 			m.st.Write(in.Dst, isa.Eval(in.Op, m.st.Read(in.Src1), m.st.Read(in.Src2), in.Imm))
 			m.setReady(in.Dst, m.now+int64(in.Op.Latency()), false)
@@ -432,10 +480,19 @@ func (m *Machine) resolveBranch(d *pipeline.DynInst, predOn bool) (squash bool) 
 	if taken && (in.Op == isa.OpBrRet || in.Op == isa.OpBrInd) {
 		pred.UpdateIndirect(d.PC, target)
 	}
-	if actualNext == d.NextPC && !d.NoPrediction {
+	mispredicted := actualNext != d.NextPC || d.NoPrediction
+	if m.tr.Enabled() {
+		var arg int64
+		if mispredicted {
+			arg = 1
+		}
+		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvBranchResolve, Pipe: trace.PipeA,
+			ID: d.ID, PC: d.PC, Arg: arg, Note: in.String()})
+	}
+	if !mispredicted {
 		return false
 	}
-	m.run.MispredictsA++
+	m.col.MispredictA()
 	m.fe.Redirect(actualNext, m.now+pipeline.DETOffset)
 	return true
 }

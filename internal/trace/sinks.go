@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// RingSink keeps the most recent events in a fixed-capacity ring buffer —
+// the "flight recorder" pattern: attach it permanently, read it only when
+// something interesting happened.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	count int
+}
+
+// NewRingSink returns a ring holding the last capacity events.
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit records one event, evicting the oldest when full.
+func (r *RingSink) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *RingSink) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Close is a no-op; the ring stays readable after Close.
+func (r *RingSink) Close() error { return nil }
+
+// JSONLSink writes one JSON object per event, one per line — the stable
+// machine-readable format the golden-trace tests pin.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing to w. The caller owns w; Close
+// flushes but does not close it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one line. The first write error is retained and returned by
+// Close; later events are dropped.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(e)
+	}
+	s.mu.Unlock()
+}
+
+// Close flushes buffered lines and reports the first write error.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// ChromeSink exports the run in the Chrome trace_event JSON format, so it
+// opens directly in about:tracing or https://ui.perfetto.dev. Each Pipe
+// becomes one named thread track; each event becomes a one-cycle "complete"
+// slice (1 cycle = 1 µs of trace time).
+type ChromeSink struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+// NewChromeSink returns a sink writing a complete trace_event document to
+// w. The caller owns w; Close finalizes the JSON and flushes.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: bufio.NewWriter(w), first: true}
+	s.writeHeader()
+	return s
+}
+
+func (s *ChromeSink) writeHeader() {
+	_, err := s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	if err != nil {
+		s.err = err
+		return
+	}
+	// Name the process and the per-pipe tracks up front so the viewer
+	// shows "front end / A-pipe / B-pipe" instead of bare thread ids.
+	meta := []string{
+		`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"fleaflicker"}}`,
+		`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"front end"}}`,
+		`{"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"A-pipe"}}`,
+		`{"name":"thread_name","ph":"M","pid":0,"tid":2,"args":{"name":"B-pipe"}}`,
+		`{"name":"thread_sort_index","ph":"M","pid":0,"tid":0,"args":{"sort_index":0}}`,
+		`{"name":"thread_sort_index","ph":"M","pid":0,"tid":1,"args":{"sort_index":1}}`,
+		`{"name":"thread_sort_index","ph":"M","pid":0,"tid":2,"args":{"sort_index":2}}`,
+	}
+	for _, m := range meta {
+		if !s.first {
+			s.w.WriteByte(',')
+		}
+		s.first = false
+		if _, err := s.w.WriteString(m); err != nil {
+			s.err = err
+			return
+		}
+	}
+}
+
+// Emit appends one trace_event slice.
+func (s *ChromeSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if !s.first {
+		s.w.WriteByte(',')
+	}
+	s.first = false
+	// args carries the raw event fields; quote Note through the JSON
+	// encoder since instruction text contains brackets and commas.
+	note, _ := json.Marshal(e.Note)
+	_, s.err = fmt.Fprintf(s.w,
+		`{"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":1,"pid":0,"tid":%d,"args":{"id":%d,"pc":%d,"arg":%d,"note":%s}}`,
+		e.Type.String(), e.Pipe.String(), e.Cycle, int(e.Pipe), e.ID, e.PC, e.Arg, note)
+}
+
+// Close terminates the JSON document and flushes.
+func (s *ChromeSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := s.w.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}

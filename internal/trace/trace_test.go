@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventTypeAndPipeStrings(t *testing.T) {
+	for ty := EventType(0); ty < NumEventTypes; ty++ {
+		if s := ty.String(); s == "" || strings.HasPrefix(s, "event(") {
+			t.Errorf("EventType(%d) has no name", ty)
+		}
+	}
+	if EventType(200).String() != "event(200)" {
+		t.Errorf("unknown event type string")
+	}
+	want := map[Pipe]string{PipeFront: "front", PipeA: "A", PipeB: "B", Pipe(9): "?"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Pipe(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestNilTracerIsDisabledAndSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Event{Type: EvDefer}) // must not panic
+	if New(nil) != nil {
+		t.Fatal("New(nil) should return a nil (disabled) tracer")
+	}
+	if !New(NewRingSink(4)).Enabled() {
+		t.Fatal("tracer over a sink should be enabled")
+	}
+}
+
+func TestFuncSink(t *testing.T) {
+	var got []Event
+	s := FuncSink(func(e Event) { got = append(got, e) })
+	tr := New(s)
+	tr.Emit(Event{Cycle: 3, Type: EvMerge, Pipe: PipeB})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Cycle != 3 || got[0].Type != EvMerge {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRingSinkWraparound(t *testing.T) {
+	r := NewRingSink(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Cycle: int64(i)})
+	}
+	ev := r.Events()
+	if r.Len() != 3 || len(ev) != 3 {
+		t.Fatalf("ring kept %d events, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if e.Cycle != int64(i+2) {
+			t.Errorf("event %d has cycle %d, want %d (oldest-first)", i, e.Cycle, i+2)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Error("ring should stay readable after Close")
+	}
+}
+
+func TestRingSinkDegenerateCapacity(t *testing.T) {
+	r := NewRingSink(0)
+	r.Emit(Event{Cycle: 1})
+	r.Emit(Event{Cycle: 2})
+	if ev := r.Events(); len(ev) != 1 || ev[0].Cycle != 2 {
+		t.Fatalf("capacity<1 should clamp to 1, got %v", ev)
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Cycle: 7, Type: EvDefer, Pipe: PipeA, ID: 42, PC: 5, Note: "add r1 = r2, r3"})
+	s.Emit(Event{Cycle: 8, Type: EvFlush, Pipe: PipeB, ID: 43, Arg: 17})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d:\n%s", len(lines), buf.String())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v", err)
+	}
+	if e.Cycle != 7 || e.Type != EvDefer || e.ID != 42 || e.Note == "" {
+		t.Errorf("round-trip lost fields: %+v", e)
+	}
+}
+
+func TestChromeSinkProducesValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	s.Emit(Event{Cycle: 1, Type: EvDefer, Pipe: PipeA, ID: 9, PC: 3, Note: `ld4 r2 = [r1]`})
+	s.Emit(Event{Cycle: 2, Type: EvMerge, Pipe: PipeB, ID: 9, PC: 3})
+	s.Emit(Event{Cycle: 3, Type: EvFlush, Pipe: PipeB, ID: 10, Arg: 12})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if n, ok := ev["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"defer", "merge", "flush", "thread_name"} {
+		if !names[want] {
+			t.Errorf("chrome trace missing %q events; have %v", want, names)
+		}
+	}
+}
+
+// TestSinksAreConcurrencySafe hammers each sink from several goroutines —
+// the shape experiments.RunSuite produces when a sink is shared. Run under
+// -race this is the safety assertion the acceptance criteria require.
+func TestSinksAreConcurrencySafe(t *testing.T) {
+	var chromeBuf, jsonlBuf bytes.Buffer
+	sinks := []Sink{
+		NewRingSink(64),
+		NewJSONLSink(&jsonlBuf),
+		NewChromeSink(&chromeBuf),
+	}
+	for _, s := range sinks {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					s.Emit(Event{Cycle: int64(i), Type: EvPreExec, Pipe: Pipe(g % 3), ID: uint64(g)})
+				}
+			}(g)
+		}
+		wg.Wait()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chromeBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("concurrent chrome trace corrupted: %v", err)
+	}
+	if len(doc.TraceEvents) < 1600 {
+		t.Errorf("chrome trace dropped events: %d", len(doc.TraceEvents))
+	}
+}

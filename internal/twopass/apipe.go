@@ -5,6 +5,7 @@ import (
 	"fleaflicker/internal/mem"
 	"fleaflicker/internal/pipeline"
 	"fleaflicker/internal/stats"
+	"fleaflicker/internal/trace"
 )
 
 // stepA advances the advance pipeline by one cycle: at most one issue group
@@ -36,8 +37,8 @@ func (m *Machine) stepA() {
 	grp := cqGroup{enq: m.now}
 	for _, d := range g.Insts {
 		squash := m.processA(d)
-		if m.OnADispatch != nil {
-			m.OnADispatch(m.now, d)
+		if m.tr.Enabled() {
+			m.emitA(d)
 		}
 		grp.insts = append(grp.insts, d)
 		m.cqCount++
@@ -52,6 +53,24 @@ func (m *Machine) stepA() {
 		}
 	}
 	m.cq = append(m.cq, grp)
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvCQEnqueue, Pipe: trace.PipeA,
+			ID: grp.insts[0].ID, PC: grp.insts[0].PC, Arg: int64(len(grp.insts))})
+	}
+}
+
+// emitA reports one A-pipe dispatch outcome to the trace sink: a deferral
+// or a pre-execution (annotated with the serving cache level for loads).
+func (m *Machine) emitA(d *pipeline.DynInst) {
+	e := trace.Event{Cycle: m.now, Type: trace.EvPreExec, Pipe: trace.PipeA,
+		ID: d.ID, PC: d.PC, Note: d.In.String()}
+	if d.Deferred {
+		e.Type = trace.EvDefer
+	} else if d.In.Op.IsLoad() && d.Done {
+		e.Arg = int64(d.Level)
+		e.Note = e.Note + " @" + d.Level.String()
+	}
+	m.tr.Emit(e)
 }
 
 // blockedOnAnticipable reports whether the group's only unready operands are
@@ -150,7 +169,7 @@ func (m *Machine) processA(d *pipeline.DynInst) (squash bool) {
 // consumers are deferred transitively.
 func (m *Machine) deferA(d *pipeline.DynInst) {
 	d.Deferred = true
-	m.run.Deferred++
+	m.col.Defer()
 	if d.In.HasDest() {
 		m.invalidateA(d.In.Dst, d.ID)
 	}
@@ -186,12 +205,12 @@ func (m *Machine) loadA(d *pipeline.DynInst) {
 		return
 	}
 	if m.deferredStores > 0 {
-		m.run.LoadsPastDeferredStore++
+		m.col.LoadPastDeferredStore()
 	}
 	lat, lvl := m.hier.Load(addr, m.now)
-	m.run.RecordAccess(lvl, stats.PipeA, m.hier.Levels())
+	m.col.Access(lvl, stats.PipeA, m.hier.Levels())
 	m.alat.Insert(d.ID, addr, size)
-	m.run.PreExecuted++
+	m.col.PreExecute()
 	d.Done = true
 	d.Val = val
 	d.ReadyAt = m.now + int64(lat)
@@ -228,7 +247,7 @@ func (m *Machine) storeA(d *pipeline.DynInst) {
 		return
 	}
 	m.sbuf.Insert(mem.StoreEntry{ID: d.ID, Addr: addr, Size: size, Data: data, DataKnown: true})
-	m.run.PreExecuted++
+	m.col.PreExecute()
 	d.Done = true
 	d.Val = data
 	d.ReadyAt = m.now
@@ -273,10 +292,19 @@ func (m *Machine) resolveBranchA(d *pipeline.DynInst, predOn bool) (squash bool)
 	if taken && (in.Op == isa.OpBrRet || in.Op == isa.OpBrInd) {
 		pred.UpdateIndirect(d.PC, target)
 	}
-	if actualNext == d.NextPC && !d.NoPrediction {
+	mispredicted := actualNext != d.NextPC || d.NoPrediction
+	if m.tr.Enabled() {
+		var arg int64
+		if mispredicted {
+			arg = 1
+		}
+		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvBranchResolve, Pipe: trace.PipeA,
+			ID: d.ID, PC: d.PC, Arg: arg, Note: in.String()})
+	}
+	if !mispredicted {
 		return false
 	}
-	m.run.MispredictsA++
+	m.col.MispredictA()
 	m.fe.Redirect(actualNext, m.now+pipeline.DETOffset)
 	return true
 }

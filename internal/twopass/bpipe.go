@@ -6,6 +6,7 @@ import (
 	"fleaflicker/internal/isa"
 	"fleaflicker/internal/pipeline"
 	"fleaflicker/internal/stats"
+	"fleaflicker/internal/trace"
 )
 
 // bStatus is the outcome of retiring one instruction in the B-pipe.
@@ -24,35 +25,53 @@ type bStatus struct {
 // classifies the cycle into one of the six Figure 6 classes.
 func (m *Machine) stepB() {
 	if len(m.cq) == 0 {
+		cls := stats.FrontEndStall
 		if m.aBlockedAnticipable {
-			m.run.ByClass[stats.NonLoadDepStall]++
-		} else {
-			m.run.ByClass[stats.FrontEndStall]++
+			cls = stats.NonLoadDepStall
+		}
+		m.col.Cycle(cls)
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvStall, Pipe: trace.PipeB,
+				PC: -1, Arg: int64(cls), Note: cls.String()})
 		}
 		return
 	}
 	if m.cq[0].enq >= m.now {
 		// The A-pipe must stay at least one cycle ahead.
-		m.run.ByClass[stats.APipeStall]++
+		m.col.Cycle(stats.APipeStall)
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvStall, Pipe: trace.PipeB,
+				PC: -1, Arg: int64(stats.APipeStall), Note: stats.APipeStall.String()})
+		}
 		return
 	}
 	set, ngroups := m.buildDispatchSet()
 	if cls, blocked := m.bBlocked(set); blocked {
-		if m.OnBBlocked != nil {
-			m.OnBBlocked(m.now, cls)
+		m.col.Cycle(cls)
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvStall, Pipe: trace.PipeB,
+				ID: set[0].ID, PC: set[0].PC, Arg: int64(cls), Note: cls.String()})
 		}
-		m.run.ByClass[cls]++
 		return
 	}
-	m.run.Regrouped += int64(ngroups - 1)
+	m.col.Regroup(ngroups - 1)
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvCQDequeue, Pipe: trace.PipeB,
+			ID: set[0].ID, PC: set[0].PC, Arg: int64(len(set))})
+	}
 	retired := 0
 	var flush bStatus
 	for _, d := range set {
 		st := m.processB(d)
 		if st.retired {
 			retired++
-			if m.OnBRetire != nil {
-				m.OnBRetire(m.now, d)
+			if m.tr.Enabled() {
+				ty := trace.EvMerge
+				if d.Deferred {
+					ty = trace.EvReplay
+				}
+				m.tr.Emit(trace.Event{Cycle: m.now, Type: ty, Pipe: trace.PipeB,
+					ID: d.ID, PC: d.PC, Note: d.In.String()})
 			}
 		}
 		if st.flushFrom != 0 {
@@ -65,8 +84,9 @@ func (m *Machine) stepB() {
 	}
 	m.popHead(retired)
 	if flush.flushFrom != 0 {
-		if m.OnFlush != nil {
-			m.OnFlush(m.now, flush.flushFrom, flush.redirect)
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvFlush, Pipe: trace.PipeB,
+				ID: flush.flushFrom, PC: flush.redirect, Arg: int64(flush.redirect)})
 		}
 		m.squashCQFrom(flush.flushFrom)
 		// Recovery latency: a checkpoint restores the A-file in one
@@ -84,10 +104,10 @@ func (m *Machine) stepB() {
 		m.fe.Redirect(flush.redirect, m.now+pipeline.DETOffset+repairCycles)
 	}
 	if retired > 0 {
-		m.run.ByClass[stats.Unstalled]++
+		m.col.Cycle(stats.Unstalled)
 	} else {
 		// A flush before anything retired: a recovery cycle.
-		m.run.ByClass[stats.FrontEndStall]++
+		m.col.Cycle(stats.FrontEndStall)
 	}
 }
 
@@ -241,14 +261,18 @@ func (m *Machine) mergeB(d *pipeline.DynInst) bStatus {
 			// A conflicting store intervened between this load's A-pipe
 			// execution and now: flush speculative state and resume
 			// fetch at the load itself.
-			m.run.ConflictFlushes++
+			m.col.ConflictFlush()
+			if m.tr.Enabled() {
+				m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvALATConflict, Pipe: trace.PipeB,
+					ID: d.ID, PC: d.PC, Arg: int64(d.Addr), Note: in.String()})
+			}
 			if m.conflictPCs != nil {
 				m.conflictPCs[d.PC] = true
 			}
 			return bStatus{flushFrom: d.ID, retired: false, redirect: d.PC}
 		}
 	}
-	m.run.Instructions++
+	m.col.Instruction()
 	if d.PredOn && sanityChecks && m.bst.Read(in.Pred) == 0 {
 		panic(fmt.Sprintf("twopass: inst %d (%s) pre-executed with wrong predicate", d.ID, in))
 	}
@@ -257,7 +281,7 @@ func (m *Machine) mergeB(d *pipeline.DynInst) bStatus {
 		m.bst.Mem.Write(d.Addr, d.Size, d.Val)
 		m.hier.Store(d.Addr, m.now)
 		m.sbuf.Remove(d.ID)
-		m.run.StoresTotal++
+		m.col.StoreCommitted()
 	case d.PredOn && in.HasDest():
 		m.bst.Write(in.Dst, d.Val)
 		at := d.ReadyAt
@@ -282,7 +306,7 @@ func (m *Machine) mergeB(d *pipeline.DynInst) bStatus {
 // in-order semantics against the B-file and architectural memory.
 func (m *Machine) executeDeferredB(d *pipeline.DynInst) bStatus {
 	in := d.In
-	m.run.Instructions++
+	m.col.Instruction()
 	m.deferred--
 	if in.Op.IsStore() {
 		m.deferredStores--
@@ -308,7 +332,7 @@ func (m *Machine) executeDeferredB(d *pipeline.DynInst) bStatus {
 	case in.Op.IsLoad():
 		addr := isa.EffectiveAddress(m.bst.Read(in.Src1), in.Imm)
 		lat, lvl := m.hier.Load(addr, m.now)
-		m.run.RecordAccess(lvl, stats.PipeB, m.hier.Levels())
+		m.col.Access(lvl, stats.PipeB, m.hier.Levels())
 		val := m.bst.Mem.Read(addr, in.Op.MemSize())
 		m.bst.Write(in.Dst, val)
 		m.setBReady(in.Dst, m.now+int64(lat), true)
@@ -319,8 +343,8 @@ func (m *Machine) executeDeferredB(d *pipeline.DynInst) bStatus {
 		m.bst.Mem.Write(addr, in.Op.MemSize(), data)
 		m.hier.Store(addr, m.now)
 		m.sbuf.Remove(d.ID) // drop any address-only entry
-		m.run.StoresTotal++
-		m.run.StoresDeferred++
+		m.col.StoreCommitted()
+		m.col.StoreDeferred()
 		// Deleting overlapping younger ALAT entries is what later makes
 		// a conflicted pre-executed load fail its check.
 		m.alat.StoreInvalidate(d.ID, addr, in.Op.MemSize())
@@ -378,11 +402,20 @@ func (m *Machine) resolveBranchB(d *pipeline.DynInst, predOn bool) bStatus {
 	if taken && (in.Op == isa.OpBrRet || in.Op == isa.OpBrInd) {
 		pred.UpdateIndirect(d.PC, target)
 	}
-	if actualNext == d.NextPC && !d.NoPrediction {
+	mispredicted := actualNext != d.NextPC || d.NoPrediction
+	if m.tr.Enabled() {
+		var arg int64
+		if mispredicted {
+			arg = 1
+		}
+		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvBranchResolve, Pipe: trace.PipeB,
+			ID: d.ID, PC: d.PC, Arg: arg, Note: in.String()})
+	}
+	if !mispredicted {
 		m.dropCheckpoint(d.ID) // correctly predicted: snapshot obsolete
 		return bStatus{retired: true}
 	}
-	m.run.MispredictsB++
+	m.col.MispredictB()
 	// The snapshot (if any) is consumed by the flush handler in stepB.
 	return bStatus{flushFrom: d.ID + 1, retired: true, redirect: actualNext}
 }

@@ -1,11 +1,13 @@
 package twopass
 
 import (
+	"context"
 	"testing"
 
 	"fleaflicker/internal/pipeline"
 	"fleaflicker/internal/program"
 	"fleaflicker/internal/stats"
+	"fleaflicker/internal/trace"
 )
 
 // §3.3: the A-pipe does not enforce WAW stalls — a younger write may land in
@@ -67,21 +69,20 @@ warm:   addi r9 = r9, -1 ;;
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Watch the event stream: A-DET mispredictions are EvBranchResolve on the
+	// A track with Arg=1; B-pipe retires are EvMerge/EvReplay.
 	var lastADET int64 = -1
 	retiredDuringRedirect := 0
-	m.OnFlush = nil
-	prevMispA := int64(0)
-	m.OnBRetire = func(now int64, d *pipeline.DynInst) {
-		if lastADET >= 0 && now > lastADET && now <= lastADET+int64(pipeline.DETOffset)+3 {
-			retiredDuringRedirect++
+	m.Attach(context.Background(), nil, trace.New(trace.FuncSink(func(e trace.Event) {
+		switch {
+		case e.Type == trace.EvBranchResolve && e.Pipe == trace.PipeA && e.Arg == 1:
+			lastADET = e.Cycle
+		case e.Type == trace.EvMerge || e.Type == trace.EvReplay:
+			if lastADET >= 0 && e.Cycle > lastADET && e.Cycle <= lastADET+int64(pipeline.DETOffset)+3 {
+				retiredDuringRedirect++
+			}
 		}
-	}
-	m.OnADispatch = func(now int64, d *pipeline.DynInst) {
-		if m.run.MispredictsA > prevMispA {
-			prevMispA = m.run.MispredictsA
-			lastADET = now
-		}
-	}
+	})))
 	r, err := m.Run()
 	if err != nil {
 		t.Fatal(err)

@@ -24,15 +24,18 @@
 package twopass
 
 import (
+	"context"
 	"fmt"
 
 	"fleaflicker/internal/arch"
 	"fleaflicker/internal/bpred"
 	"fleaflicker/internal/isa"
 	"fleaflicker/internal/mem"
+	"fleaflicker/internal/metrics"
 	"fleaflicker/internal/pipeline"
 	"fleaflicker/internal/program"
 	"fleaflicker/internal/stats"
+	"fleaflicker/internal/trace"
 )
 
 // Config parameterizes the machine.
@@ -157,18 +160,12 @@ type Machine struct {
 
 	now    int64
 	halted bool
-	run    stats.Run
-
-	// Optional trace hooks, all nil by default; used by cmd/fleatrace and
-	// tests. OnADispatch fires for every instruction the A-pipe processes
-	// (after its execute-or-defer decision), OnBRetire for every
-	// instruction the B-pipe retires, OnBBlocked when the B-pipe cannot
-	// dispatch, and OnFlush on B-DET misprediction or store-conflict
-	// recovery.
-	OnADispatch func(now int64, d *pipeline.DynInst)
-	OnBRetire   func(now int64, d *pipeline.DynInst)
-	OnBBlocked  func(now int64, cls stats.CycleClass)
-	OnFlush     func(now int64, from uint64, redirect int32)
+	col    *stats.Collector
+	// tr is the observability event stream (nil when disabled); see
+	// internal/trace for the event vocabulary. cmd/fleatrace and the
+	// mechanism tests attach sinks through Attach.
+	tr  *trace.Tracer
+	ctx context.Context
 }
 
 // New builds a machine over a fresh copy of the program's memory.
@@ -200,17 +197,31 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 	for r := range m.afile {
 		m.afile[r] = aEntry{valid: true}
 	}
-	m.run.Benchmark = prog.Name
-	if cfg.Regroup {
-		m.run.Model = "2Pre"
-	} else {
-		m.run.Model = "2P"
-	}
+	m.col = stats.NewCollector(metrics.NewRegistry(), prog.Name, m.modelName())
 	return m, nil
+}
+
+func (m *Machine) modelName() string {
+	if m.cfg.Regroup {
+		return "2Pre"
+	}
+	return "2P"
 }
 
 // State exposes the architectural (B-file) state for correctness checks.
 func (m *Machine) State() *arch.State { return m.bst }
+
+// Attach binds the machine's observability before Run: ctx cancels the
+// cycle loop, reg (when non-nil) replaces the private metrics registry, and
+// tr (which may be nil) receives trace events. Must not be called after Run
+// has started.
+func (m *Machine) Attach(ctx context.Context, reg *metrics.Registry, tr *trace.Tracer) {
+	if reg != nil {
+		m.col = stats.NewCollector(reg, m.prog.Name, m.modelName())
+	}
+	m.ctx = ctx
+	m.tr = tr
+}
 
 // Run simulates to completion and returns the measurements.
 func (m *Machine) Run() (*stats.Run, error) {
@@ -218,19 +229,22 @@ func (m *Machine) Run() (*stats.Run, error) {
 		if m.now >= m.cfg.MaxCycles {
 			return nil, fmt.Errorf("twopass: %q exceeded %d cycles", m.prog.Name, m.cfg.MaxCycles)
 		}
+		if m.ctx != nil && m.now&4095 == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return nil, fmt.Errorf("twopass: %q: %w", m.prog.Name, err)
+			}
+		}
 		m.fe.Tick(m.now)
 		m.stepA()
 		m.stepB()
-		m.run.CQOccupancySum += int64(m.cqCount)
+		m.col.CQOccupancy(m.cqCount)
 		m.now++
 	}
-	m.run.Cycles = m.now
-	m.run.Mem = m.hier.Stats()
-	if err := m.run.CheckInvariants(); err != nil {
+	r := m.col.Snapshot(m.hier.Stats())
+	if err := r.CheckInvariants(); err != nil {
 		return nil, err
 	}
-	r := m.run
-	return &r, nil
+	return r, nil
 }
 
 // readA reports whether register r is consumable in the A-pipe at now, and
@@ -284,6 +298,10 @@ func (m *Machine) feedback(r isa.Reg, id uint64, v isa.Value, producedAt int64) 
 		at = m.now + 1
 	}
 	m.afile[r] = aEntry{val: v, valid: true, spec: false, dynID: id, readyAt: at}
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvFeedback, Pipe: trace.PipeB,
+			ID: id, PC: -1, Arg: int64(r)})
+	}
 }
 
 // RepairBandwidth is the number of A-file registers repairable from the
