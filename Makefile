@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-smoke
 
-ci: vet build race
+ci: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +21,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-smoke is the simulator-speed regression gate: the allocation test
+# fails if the cycle loop regresses to allocating per instruction, and the
+# single-iteration SimSpeed run catches gross slowdowns and bench bit-rot.
+bench-smoke:
+	$(GO) test -run='^TestSteadyStateAllocationFree$$' ./internal/core/
+	$(GO) test -bench=BenchmarkSimSpeed -benchtime=1x -run=^$$ .

@@ -19,6 +19,8 @@ package fleaflicker
 
 import (
 	"context"
+	"fmt"
+	"strconv"
 	"testing"
 
 	"fleaflicker/internal/arch"
@@ -123,7 +125,7 @@ func BenchmarkFig8(b *testing.B) {
 			lat := lat
 			label := "inf"
 			if lat >= 0 {
-				label = string(rune('0' + lat))
+				label = strconv.Itoa(lat)
 			}
 			b.Run(name+"/lat="+label, func(b *testing.B) {
 				c := cfg
@@ -167,7 +169,7 @@ func BenchmarkRunahead(b *testing.B) {
 func BenchmarkCQSweep(b *testing.B) {
 	for _, size := range []int{16, 64, 256} {
 		size := size
-		b.Run(string(rune('0'+size/16))+"x16", func(b *testing.B) {
+		b.Run(fmt.Sprintf("%dx16", size/16), func(b *testing.B) {
 			cfg := core.DefaultConfig()
 			cfg.CQSize = size
 			bench, _ := workload.ByName("181.mcf")
@@ -189,7 +191,7 @@ func BenchmarkALATSweep(b *testing.B) {
 		capa := capa
 		name := "perfect"
 		if capa > 0 {
-			name = string(rune('0'+capa/16)) + "x16"
+			name = fmt.Sprintf("%dx16", capa/16)
 		}
 		b.Run(name, func(b *testing.B) {
 			cfg := core.DefaultConfig()
@@ -212,7 +214,7 @@ func BenchmarkALATSweep(b *testing.B) {
 func BenchmarkThrottleSweep(b *testing.B) {
 	for _, lim := range []int{0, 8, 32} {
 		lim := lim
-		b.Run(string(rune('0'+lim/8)), func(b *testing.B) {
+		b.Run(strconv.Itoa(lim), func(b *testing.B) {
 			cfg := core.DefaultConfig()
 			cfg.DeferThrottle = lim
 			bench, _ := workload.ByName("254.gap")

@@ -5,6 +5,7 @@
 //
 //	fleabench [-fig6] [-fig7] [-fig8] [-table1] [-table2] [-scalars]
 //	          [-motivation] [-runahead] [-sweeps] [-bench name] [-verify]
+//	          [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -13,15 +14,33 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"fleaflicker/internal/core"
 	"fleaflicker/internal/experiments"
 	"fleaflicker/internal/workload"
 )
 
+var (
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile = flag.String("memprofile", "", "write an allocation profile (all allocations since start) to this file on exit")
+)
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	err := run(ctx)
+	stop()
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// run executes the selected experiments. Profiling brackets the whole
+// selection: main handles the error after the profiles are flushed (fatal
+// calls os.Exit, which would skip deferred writes).
+func run(ctx context.Context) error {
 	var (
 		fig6       = flag.Bool("fig6", false, "Figure 6: normalized execution cycles (base/2P/2Pre)")
 		fig7       = flag.Bool("fig7", false, "Figure 7: initiated access cycles by level and pipe")
@@ -41,12 +60,38 @@ func main() {
 	flag.Parse()
 	all := !(*fig6 || *fig7 || *fig8 || *table1 || *table2 || *scalars || *motivation || *runaheadC || *sweeps || *future || *ifconv)
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fleabench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush accounting so live-heap numbers are accurate
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "fleabench: memprofile:", err)
+			}
+		}()
+	}
+
 	cfg := core.DefaultConfig()
 	benches := workload.Suite()
 	if *benchName != "" {
 		b, err := workload.ByName(*benchName)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		benches = []*workload.Benchmark{b}
 	}
@@ -57,7 +102,7 @@ func main() {
 	if all || *table2 {
 		out, err := experiments.RenderTable2(benches)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(out)
 	}
@@ -72,7 +117,7 @@ func main() {
 		var err error
 		suite, err = experiments.RunSuite(ctx, cfg, models, benches, *verify)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if all || *motivation {
@@ -86,7 +131,7 @@ func main() {
 	}
 	if *csvDir != "" && suite != nil {
 		if err := experiments.WriteCSV(suite, *csvDir); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("wrote fig6.csv and fig7.csv to %s\n\n", *csvDir)
 	}
@@ -103,12 +148,12 @@ func main() {
 		}
 		points, err := experiments.Fig8(cfg, names)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.RenderFig8(points))
 		if *csvDir != "" {
 			if err := experiments.WriteFig8CSV(points, *csvDir); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("wrote fig8.csv to %s\n\n", *csvDir)
 		}
@@ -116,24 +161,26 @@ func main() {
 	if all || *future {
 		subset := benches
 		if *benchName == "" {
-			subset = subset[:0]
+			// A fresh slice: truncating benches would clobber the shared
+			// workload suite's backing array.
+			subset = make([]*workload.Benchmark, 0, 3)
 			for _, name := range []string{"181.mcf", "183.equake", "300.twolf"} {
 				b, err := workload.ByName(name)
 				if err != nil {
-					fatal(err)
+					return err
 				}
 				subset = append(subset, b)
 			}
 		}
 		fut, err := experiments.CompareMachines(cfg, experiments.FutureConfig(), subset)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.RenderMachineComparison(
 			"Futuristic machine (§4): smaller low-level caches, longer latencies", "future", fut))
 		perf, err := experiments.CompareMachines(cfg, experiments.PerfectMemoryConfig(), subset)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.RenderMachineComparison(
 			"Perfect-memory ablation: with no misses, two-pass collapses to baseline", "perfect", perf))
@@ -145,7 +192,7 @@ func main() {
 		}
 		rows, err := experiments.IfConvertStudy(cfg, names)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.RenderIfConvertStudy(rows))
 	}
@@ -156,20 +203,21 @@ func main() {
 		}
 		cq, err := experiments.CQSweep(cfg, name, []int{16, 32, 64, 128, 256})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.RenderSweep("Coupling-queue size sweep (paper: insensitive near 64)", "CQ", "deferred", cq))
 		al, err := experiments.ALATSweep(cfg, name, []int{0, 8, 16, 32, 64})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.RenderSweep("ALAT capacity sweep (0 = perfect, Table 1)", "entries", "flushes", al))
 		th, err := experiments.ThrottleSweep(cfg, name, []int{0, 8, 16, 32})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(experiments.RenderSweep("A-pipe deferral throttle sweep (§3.5 future work; 0 = off)", "limit", "deferred", th))
 	}
+	return nil
 }
 
 func fatal(err error) {

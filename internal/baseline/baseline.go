@@ -63,6 +63,13 @@ type Machine struct {
 	ready        [isa.NumRegs]int64
 	loadProducer [isa.NumRegs]bool
 
+	// arena recycles DynInst records; srcScratch and addrScratch are
+	// reusable groupBlocked buffers. Together they keep the cycle loop
+	// allocation-free.
+	arena       *pipeline.Arena
+	srcScratch  []isa.Reg
+	addrScratch []uint32
+
 	now    int64
 	halted bool
 	col    *stats.Collector
@@ -84,6 +91,7 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 		hier: hier,
 		st:   arch.NewState(prog.InitialImage()),
 	}
+	m.arena = m.fe.Arena()
 	m.col = stats.NewCollector(metrics.NewRegistry(), prog.Name, "base")
 	return m, nil
 }
@@ -146,6 +154,8 @@ func (m *Machine) step() {
 	}
 	m.fe.Pop() // before dispatch: a mispredicted branch flushes the queue
 	m.dispatch(g)
+	m.arena.PutAll(g.Insts) // the group retires (or squashes) whole
+	g.Insts = g.Insts[:0]
 	m.col.Cycle(stats.Unstalled)
 }
 
@@ -166,7 +176,7 @@ func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, bool) {
 			blockedByLoad = m.loadProducer[r]
 		}
 	}
-	var srcs []isa.Reg
+	srcs := m.srcScratch
 	for _, d := range g.Insts {
 		srcs = d.In.Sources(srcs[:0])
 		for _, s := range srcs {
@@ -176,6 +186,7 @@ func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, bool) {
 			consider(d.In.Dst)
 		}
 	}
+	m.srcScratch = srcs
 	if blockedUntil > m.now {
 		if blockedByLoad {
 			return stats.LoadStall, true
@@ -185,13 +196,14 @@ func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, bool) {
 	// Operands ready: compute load addresses to check outstanding-load
 	// capacity as a group. (Address operands are ready by construction
 	// here.)
-	var addrs []uint32
+	addrs := m.addrScratch[:0]
 	for _, d := range g.Insts {
 		if !d.In.Op.IsLoad() || m.st.Read(d.In.Pred) == 0 {
 			continue
 		}
 		addrs = append(addrs, isa.EffectiveAddress(m.st.Read(d.In.Src1), d.In.Imm))
 	}
+	m.addrScratch = addrs
 	if len(addrs) > 0 && !m.hier.CanAcceptLoads(addrs, m.now) {
 		return stats.ResourceStall, true
 	}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"fleaflicker/internal/workload"
+)
+
+// TestSteadyStateAllocationFree is the allocation-regression gate for the
+// cycle loop: across a full 300.twolf run, every machine model must average
+// (well) under 0.01 heap allocations per simulated instruction. Machine
+// construction is excluded — only Run is measured — but everything inside
+// the run counts, so the budget covers the bounded non-steady-state work
+// that legitimately allocates there: demand-paged memory-image pages,
+// arena slab growth, and the final stats snapshot. A per-instruction
+// allocation anywhere in the loop (fetch, dispatch, coupling queue, merge,
+// retire, hierarchy) blows the budget by orders of magnitude.
+//
+// testing.AllocsPerRun is unusable here because it invokes its body
+// multiple times and a Machine can only Run once, so the test reads the
+// runtime's Mallocs counter directly.
+func TestSteadyStateAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("full-benchmark run")
+	}
+	bench, err := workload.ByName("300.twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	for _, model := range Models() {
+		t.Run(model.String(), func(t *testing.T) {
+			m, err := build(model, cfg, bench.Program())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			r, err := m.Run()
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocs := after.Mallocs - before.Mallocs
+			perInstr := float64(allocs) / float64(r.Instructions)
+			t.Logf("%s: %d allocs / %d instructions = %.5f allocs/instr",
+				model, allocs, r.Instructions, perInstr)
+			if perInstr >= 0.01 {
+				t.Errorf("%s: %.5f allocs per instruction (%d allocs over %d instructions); steady-state cycle loop must not allocate",
+					model, perInstr, allocs, r.Instructions)
+			}
+		})
+	}
+}

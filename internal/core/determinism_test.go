@@ -1,0 +1,42 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"fleaflicker/internal/workload"
+)
+
+// TestSimulateDeterministic pins that two back-to-back simulations of the
+// same program on the same model produce byte-identical measurements. The
+// machines share no state across runs (each builds a fresh memory image,
+// predictor, and arena), so any divergence means nondeterminism leaked into
+// the timing model — map-iteration order, pointer-keyed structures, or
+// recycled-record state surviving a reset.
+func TestSimulateDeterministic(t *testing.T) {
+	bench, err := workload.ByName("129.compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, model := range Models() {
+		t.Run(model.String(), func(t *testing.T) {
+			snap := func() []byte {
+				r, err := Simulate(ctx, model, bench.Program())
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.Marshal(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			first, second := snap(), snap()
+			if string(first) != string(second) {
+				t.Errorf("two identical runs diverged:\n run 1: %s\n run 2: %s", first, second)
+			}
+		})
+	}
+}

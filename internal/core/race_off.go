@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation accounting differs under -race, so the allocation-regression
+// test skips itself there.
+const raceEnabled = false

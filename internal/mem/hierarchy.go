@@ -78,15 +78,31 @@ type Hierarchy struct {
 	l3    *cache
 	stats Stats
 
-	// inflight maps an L1D line number to its pending fill (completion
-	// cycle and serving level); used for MSHR occupancy, miss merging,
-	// and attribution of merged accesses.
-	inflight map[uint32]inflightFill
+	// inflight holds the pending L1D fills (completion cycle and serving
+	// level per line); used for MSHR occupancy, miss merging, and
+	// attribution of merged accesses. It is a small slice, not a map: it
+	// holds at most MaxOutstanding entries, so linear scans beat hashing
+	// and the backing array is reused forever (no per-miss allocation).
+	inflight []inflightFill
+	// needScratch is CanAcceptLoads' reusable distinct-missing-lines
+	// buffer.
+	needScratch []uint32
 }
 
 type inflightFill struct {
+	line  uint32
 	done  int64
 	level Level
+}
+
+// findInflight returns the pending fill for line, or nil.
+func (h *Hierarchy) findInflight(line uint32) *inflightFill {
+	for i := range h.inflight {
+		if h.inflight[i].line == line {
+			return &h.inflight[i]
+		}
+	}
+	return nil
 }
 
 // NewHierarchy builds a hierarchy; panics on invalid configuration (a
@@ -98,7 +114,7 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		l1d:      newCache(cfg.L1D, "L1D"),
 		l2:       newCache(cfg.L2, "L2"),
 		l3:       newCache(cfg.L3, "L3"),
-		inflight: make(map[uint32]inflightFill),
+		inflight: make([]inflightFill, 0, cfg.MaxOutstanding),
 	}
 }
 
@@ -113,11 +129,13 @@ func (h *Hierarchy) Stats() Stats {
 }
 
 func (h *Hierarchy) purgeInflight(now int64) {
-	for line, f := range h.inflight {
-		if f.done <= now {
-			delete(h.inflight, line)
+	kept := h.inflight[:0]
+	for _, f := range h.inflight {
+		if f.done > now {
+			kept = append(kept, f)
 		}
 	}
+	h.inflight = kept
 }
 
 // Outstanding returns the number of data-load misses still in flight at now.
@@ -134,7 +152,7 @@ func (h *Hierarchy) CanAcceptLoad(addr uint32, now int64) bool {
 	if len(h.inflight) < h.cfg.MaxOutstanding {
 		return true
 	}
-	if _, ok := h.inflight[h.l1d.lineOf(addr)]; ok {
+	if h.findInflight(h.l1d.lineOf(addr)) != nil {
 		return true
 	}
 	// A full MSHR pool still permits L1 hits.
@@ -154,11 +172,11 @@ func (h *Hierarchy) CanAcceptLoad(addr uint32, now int64) bool {
 func (h *Hierarchy) CanAcceptLoads(addrs []uint32, now int64) bool {
 	h.purgeInflight(now)
 	free := h.cfg.MaxOutstanding - len(h.inflight)
-	var needed []uint32
+	needed := h.needScratch[:0]
 lines:
 	for _, addr := range addrs {
 		line := h.l1d.lineOf(addr)
-		if _, ok := h.inflight[line]; ok {
+		if h.findInflight(line) != nil {
 			continue
 		}
 		set, tag := h.l1d.index(addr)
@@ -175,6 +193,7 @@ lines:
 		}
 		needed = append(needed, line)
 	}
+	h.needScratch = needed
 	return len(needed) <= free
 }
 
@@ -185,7 +204,7 @@ lines:
 func (h *Hierarchy) Load(addr uint32, now int64) (latency int, served Level) {
 	h.purgeInflight(now)
 	line := h.l1d.lineOf(addr)
-	if f, ok := h.inflight[line]; ok && f.done > now {
+	if f := h.findInflight(line); f != nil && f.done > now {
 		// Merge with the in-flight fill of the same line: the access
 		// completes when the pending fill does and is attributed to the
 		// level that fill came from.
@@ -217,7 +236,7 @@ func (h *Hierarchy) Load(addr uint32, now int64) (latency int, served Level) {
 	if len(h.inflight) >= h.cfg.MaxOutstanding {
 		panic("mem: Load issued with MSHR pool full; caller must check CanAcceptLoad")
 	}
-	h.inflight[line] = inflightFill{done: now + int64(lat), level: served}
+	h.inflight = append(h.inflight, inflightFill{line: line, done: now + int64(lat), level: served})
 	h.stats.DataServed[served]++
 	return lat, served
 }

@@ -1,0 +1,46 @@
+package pipeline
+
+// arenaSlab is the number of DynInst records allocated per slab. The live
+// set of a machine is bounded by its coupling-queue and fetch-queue
+// capacities, so a handful of slabs cover steady state and the freelist
+// absorbs all further traffic.
+const arenaSlab = 64
+
+// Arena recycles DynInst records so the steady-state cycle loop performs no
+// heap allocation per fetched instruction. The front end allocates from it
+// in Tick; machines return records when an instruction retires or is
+// squashed (the front end itself returns the records of groups it flushes
+// on Redirect).
+//
+// An arena belongs to one machine and is not safe for concurrent use —
+// machines are single-goroutine, so no sync.Pool-style synchronization is
+// needed. A record handed to Put must not be referenced again: it is reused,
+// fully reset, by a later Get.
+type Arena struct {
+	free []*DynInst
+}
+
+// NewArena returns an empty arena; slabs are allocated on demand.
+func NewArena() *Arena { return &Arena{} }
+
+// Get returns a zeroed DynInst, reusing a recycled record when one is free.
+func (a *Arena) Get() *DynInst {
+	n := len(a.free)
+	if n == 0 {
+		slab := make([]DynInst, arenaSlab)
+		for i := range slab[:arenaSlab-1] {
+			a.free = append(a.free, &slab[i])
+		}
+		return &slab[arenaSlab-1]
+	}
+	d := a.free[n-1]
+	a.free = a.free[:n-1]
+	*d = DynInst{}
+	return d
+}
+
+// Put returns one record to the freelist.
+func (a *Arena) Put(d *DynInst) { a.free = append(a.free, d) }
+
+// PutAll returns every record in ds to the freelist.
+func (a *Arena) PutAll(ds []*DynInst) { a.free = append(a.free, ds...) }

@@ -83,17 +83,26 @@ func DefaultConfig() Config { return Config{Depth: 5, QueueCap: 8} }
 // FrontEnd fetches issue groups along the predicted path, one group per
 // cycle, modelling I-cache latency and branch prediction. Machines consume
 // groups via Head/Pop and repair wrong paths via Redirect.
+//
+// The fetched-group buffer is a fixed ring of QueueCap Group slots whose
+// instruction slices are reused, and DynInst records come from a per-machine
+// Arena, so steady-state fetch allocates nothing. A popped group (and its
+// DynInsts) stays valid until the next Tick; machines must consume it within
+// the cycle that pops it and return the DynInsts to Arena() when they retire
+// or are squashed.
 type FrontEnd struct {
-	cfg  Config
-	prog *program.Program
-	hier *mem.Hierarchy
-	pred *bpred.Predictor
+	cfg   Config
+	prog  *program.Program
+	hier  *mem.Hierarchy
+	pred  *bpred.Predictor
+	arena *Arena
 
 	pc          int32
 	nextFetchAt int64
 	stalled     bool // fetch blocked behind a no-prediction indirect branch
 	halted      bool // fetch reached a halt
-	queue       []*Group
+	queue       []Group // ring storage, len == cfg.QueueCap
+	qhead, qlen int
 
 	nextID uint64
 
@@ -104,16 +113,25 @@ type FrontEnd struct {
 
 // NewFrontEnd builds a front end starting at the program entry.
 func NewFrontEnd(cfg Config, prog *program.Program, hier *mem.Hierarchy, pred *bpred.Predictor) *FrontEnd {
-	return &FrontEnd{cfg: cfg, prog: prog, hier: hier, pred: pred, pc: prog.Entry, nextID: 1}
+	return &FrontEnd{
+		cfg: cfg, prog: prog, hier: hier, pred: pred,
+		arena: NewArena(),
+		queue: make([]Group, cfg.QueueCap),
+		pc:    prog.Entry, nextID: 1,
+	}
 }
 
 // Predictor exposes the branch predictor for resolution updates.
 func (f *FrontEnd) Predictor() *bpred.Predictor { return f.pred }
 
+// Arena exposes the DynInst allocator. Machines return retired and squashed
+// instruction records to it so the cycle loop stays allocation-free.
+func (f *FrontEnd) Arena() *Arena { return f.arena }
+
 // Tick advances fetch by one cycle: at most one issue group is fetched along
 // the predicted path.
 func (f *FrontEnd) Tick(now int64) {
-	if f.stalled || f.halted || now < f.nextFetchAt || len(f.queue) >= f.cfg.QueueCap {
+	if f.stalled || f.halted || now < f.nextFetchAt || f.qlen >= f.cfg.QueueCap {
 		return
 	}
 	if f.pc < 0 || int(f.pc) >= len(f.prog.Insts) {
@@ -124,11 +142,14 @@ func (f *FrontEnd) Tick(now int64) {
 	}
 	start := f.pc
 	end := f.prog.GroupBounds(start)
-	g := &Group{FetchPC: start}
+	g := &f.queue[(f.qhead+f.qlen)%f.cfg.QueueCap]
+	g.Insts = g.Insts[:0]
+	g.FetchPC = start
 	next := end // sequential fall-through
 	for pc := start; pc < end; pc++ {
 		in := &f.prog.Insts[pc]
-		d := &DynInst{ID: f.nextID, PC: pc, In: in, NextPC: pc + 1}
+		d := f.arena.Get()
+		d.ID, d.PC, d.In, d.NextPC = f.nextID, pc, in, pc+1
 		f.nextID++
 		g.Insts = append(g.Insts, d)
 		if in.Op == isa.OpHalt {
@@ -176,7 +197,7 @@ func (f *FrontEnd) Tick(now int64) {
 	g.AvailAt = now + int64(f.cfg.Depth+extra)
 	f.nextFetchAt = now + 1 + int64(extra)
 	f.FetchStallCycles += int64(extra)
-	f.queue = append(f.queue, g)
+	f.qlen++
 	f.pc = next
 }
 
@@ -212,29 +233,41 @@ func (f *FrontEnd) predictBranch(d *DynInst) (taken bool, target int32, done boo
 }
 
 // Head returns the oldest fetched group if it has reached the dispersal
-// point by now, else nil.
+// point by now, else nil. The returned group lives in the fetch ring: it
+// remains valid after Pop only until the next Tick.
 func (f *FrontEnd) Head(now int64) *Group {
-	if len(f.queue) == 0 || f.queue[0].AvailAt > now {
+	if f.qlen == 0 {
 		return nil
 	}
-	return f.queue[0]
+	g := &f.queue[f.qhead]
+	if g.AvailAt > now {
+		return nil
+	}
+	return g
 }
 
 // Pending reports whether any group is fetched but not yet available —
 // distinguishing "front end refilling" from "fetch stalled empty".
-func (f *FrontEnd) Pending() bool { return len(f.queue) > 0 }
+func (f *FrontEnd) Pending() bool { return f.qlen > 0 }
 
-// Pop consumes the head group.
+// Pop consumes the head group. Ownership of its DynInst records passes to
+// the caller, which must eventually return them to Arena().
 func (f *FrontEnd) Pop() {
-	f.queue = f.queue[1:]
+	f.qhead = (f.qhead + 1) % f.cfg.QueueCap
+	f.qlen--
 }
 
-// Redirect flushes all fetched groups and restarts fetch at pc on the next
-// cycle. Machines call it on branch misprediction (at resolution time), on
-// indirect-branch resolution when fetch was stalled, and on store-conflict
-// recovery.
+// Redirect flushes all fetched groups (returning their instruction records
+// to the arena) and restarts fetch at pc on the next cycle. Machines call it
+// on branch misprediction (at resolution time), on indirect-branch
+// resolution when fetch was stalled, and on store-conflict recovery.
 func (f *FrontEnd) Redirect(pc int32, now int64) {
-	f.queue = f.queue[:0]
+	for i := 0; i < f.qlen; i++ {
+		g := &f.queue[(f.qhead+i)%f.cfg.QueueCap]
+		f.arena.PutAll(g.Insts)
+		g.Insts = g.Insts[:0]
+	}
+	f.qlen = 0
 	f.pc = pc
 	f.nextFetchAt = now + 1
 	f.stalled = false

@@ -255,8 +255,8 @@ a:      movi r1 = 1 ;;
 	for now := int64(0); now < 2000; now++ {
 		fe.Tick(now) // never popped
 	}
-	if len(fe.queue) > DefaultConfig().QueueCap {
-		t.Errorf("queue grew to %d, cap %d", len(fe.queue), DefaultConfig().QueueCap)
+	if fe.qlen > DefaultConfig().QueueCap {
+		t.Errorf("queue grew to %d, cap %d", fe.qlen, DefaultConfig().QueueCap)
 	}
 }
 

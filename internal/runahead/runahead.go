@@ -73,6 +73,13 @@ type Machine struct {
 	ready        [isa.NumRegs]int64
 	loadProducer [isa.NumRegs]bool
 
+	// arena recycles DynInst records; srcScratch and addrScratch are
+	// reusable groupBlocked buffers. Together they keep the cycle loop
+	// allocation-free.
+	arena       *pipeline.Arena
+	srcScratch  []isa.Reg
+	addrScratch []uint32
+
 	// Run-ahead mode state.
 	inRunahead bool
 	exitAt     int64 // when the blocking load completes
@@ -105,6 +112,7 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 		hier: hier,
 		st:   arch.NewState(prog.InitialImage()),
 	}
+	m.arena = m.fe.Arena()
 	m.col = stats.NewCollector(metrics.NewRegistry(), prog.Name, "runahead")
 	return m, nil
 }
@@ -180,6 +188,8 @@ func (m *Machine) stepNormal() {
 	}
 	m.fe.Pop()
 	m.dispatch(g)
+	m.arena.PutAll(g.Insts) // the group retires (or squashes) whole
+	g.Insts = g.Insts[:0]
 	m.col.Cycle(stats.Unstalled)
 }
 
@@ -203,6 +213,8 @@ func (m *Machine) enterRunahead(g *pipeline.Group, until int64) {
 	}
 	m.fe.Pop() // consume the stalled group into run-ahead execution
 	m.runaheadGroup(g)
+	m.arena.PutAll(g.Insts)
+	g.Insts = g.Insts[:0]
 }
 
 // stepRunahead executes one cycle of run-ahead mode.
@@ -215,6 +227,8 @@ func (m *Machine) stepRunahead() {
 	if g := m.fe.Head(m.now); g != nil {
 		m.fe.Pop()
 		m.runaheadGroup(g)
+		m.arena.PutAll(g.Insts)
+		g.Insts = g.Insts[:0]
 	}
 }
 
@@ -371,7 +385,7 @@ func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, int64, bool
 			blockedByLoad = m.loadProducer[r]
 		}
 	}
-	var srcs []isa.Reg
+	srcs := m.srcScratch
 	for _, d := range g.Insts {
 		srcs = d.In.Sources(srcs[:0])
 		for _, s := range srcs {
@@ -381,19 +395,21 @@ func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, int64, bool
 			consider(d.In.Dst)
 		}
 	}
+	m.srcScratch = srcs
 	if blockedUntil > m.now {
 		if blockedByLoad {
 			return stats.LoadStall, blockedUntil, true
 		}
 		return stats.NonLoadDepStall, blockedUntil, true
 	}
-	var addrs []uint32
+	addrs := m.addrScratch[:0]
 	for _, d := range g.Insts {
 		if !d.In.Op.IsLoad() || m.st.Read(d.In.Pred) == 0 {
 			continue
 		}
 		addrs = append(addrs, isa.EffectiveAddress(m.st.Read(d.In.Src1), d.In.Imm))
 	}
+	m.addrScratch = addrs
 	if len(addrs) > 0 && !m.hier.CanAcceptLoads(addrs, m.now) {
 		return stats.ResourceStall, m.now + 1, true
 	}

@@ -34,8 +34,10 @@ func (m *Machine) stepA() {
 	m.aBlockedAnticipable = false
 	m.fe.Pop()
 
-	grp := cqGroup{enq: m.now}
-	for _, d := range g.Insts {
+	grp := m.cq.pushTail()
+	grp.enq = m.now
+	for i := 0; i < len(g.Insts); i++ {
+		d := g.Insts[i]
 		squash := m.processA(d)
 		if m.tr.Enabled() {
 			m.emitA(d)
@@ -49,10 +51,12 @@ func (m *Machine) stepA() {
 			}
 		}
 		if squash {
+			// Younger same-group instructions are wrong-path and never
+			// enqueued; recycle their records.
+			m.arena.PutAll(g.Insts[i+1:])
 			break
 		}
 	}
-	m.cq = append(m.cq, grp)
 	if m.tr.Enabled() {
 		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvCQEnqueue, Pipe: trace.PipeA,
 			ID: grp.insts[0].ID, PC: grp.insts[0].PC, Arg: int64(len(grp.insts))})

@@ -24,7 +24,7 @@ type bStatus struct {
 // stepB advances the backup (architectural) pipeline by one cycle and
 // classifies the cycle into one of the six Figure 6 classes.
 func (m *Machine) stepB() {
-	if len(m.cq) == 0 {
+	if m.cq.len() == 0 {
 		cls := stats.FrontEndStall
 		if m.aBlockedAnticipable {
 			cls = stats.NonLoadDepStall
@@ -36,7 +36,7 @@ func (m *Machine) stepB() {
 		}
 		return
 	}
-	if m.cq[0].enq >= m.now {
+	if m.cq.at(0).enq >= m.now {
 		// The A-pipe must stay at least one cycle ahead.
 		m.col.Cycle(stats.APipeStall)
 		if m.tr.Enabled() {
@@ -111,17 +111,22 @@ func (m *Machine) stepB() {
 	}
 }
 
-// popHead removes the first n instructions from the coupling queue.
+// popHead removes the first n instructions from the coupling queue,
+// returning their records to the arena.
 func (m *Machine) popHead(n int) {
 	m.cqCount -= n
-	for n > 0 && len(m.cq) > 0 {
-		g := &m.cq[0]
+	for n > 0 && m.cq.len() > 0 {
+		g := m.cq.at(0)
 		if n >= len(g.insts) {
 			n -= len(g.insts)
-			m.cq = m.cq[1:]
+			m.arena.PutAll(g.insts)
+			g.insts = g.insts[:0]
+			m.cq.popHead()
 			continue
 		}
-		g.insts = g.insts[n:]
+		m.arena.PutAll(g.insts[:n])
+		rest := copy(g.insts, g.insts[n:])
+		g.insts = g.insts[:rest]
 		n = 0
 	}
 }
@@ -132,19 +137,21 @@ func (m *Machine) popHead(n int) {
 // fits the machine's issue resources. Each merged boundary is a stop bit the
 // regrouper removed.
 func (m *Machine) buildDispatchSet() (set []*pipeline.DynInst, ngroups int) {
-	set = append(set, m.cq[0].insts...)
+	set = append(m.dispatchSet[:0], m.cq.at(0).insts...)
 	ngroups = 1
 	if !m.cfg.Regroup {
+		m.dispatchSet = set
 		return set, ngroups
 	}
-	for ngroups < len(m.cq) && m.cq[ngroups].enq < m.now {
-		next := m.cq[ngroups].insts
+	for ngroups < m.cq.len() && m.cq.at(ngroups).enq < m.now {
+		next := m.cq.at(ngroups).insts
 		if !m.canMerge(set, next) {
 			break
 		}
 		set = append(set, next...)
 		ngroups++
 	}
+	m.dispatchSet = set
 	return set, ngroups
 }
 
@@ -168,9 +175,10 @@ func (m *Machine) canMerge(set, next []*pipeline.DynInst) bool {
 			return false
 		}
 	}
-	var srcs []isa.Reg
+	srcs := m.srcScratch
 	for _, j := range next {
 		srcs = j.In.Sources(srcs[:0])
+		m.srcScratch = srcs
 		for _, s := range srcs {
 			// Find the youngest writer of s in the set, if any.
 			for k := len(set) - 1; k >= 0; k-- {
@@ -207,7 +215,7 @@ func (m *Machine) bBlocked(set []*pipeline.DynInst) (stats.CycleClass, bool) {
 			blockedByLoad = m.bIsLoad[r]
 		}
 	}
-	var srcs []isa.Reg
+	srcs := m.srcScratch
 	for _, d := range set {
 		if d.Done {
 			continue
@@ -220,13 +228,14 @@ func (m *Machine) bBlocked(set []*pipeline.DynInst) (stats.CycleClass, bool) {
 			consider(d.In.Dst)
 		}
 	}
+	m.srcScratch = srcs
 	if blockedUntil > m.now {
 		if blockedByLoad {
 			return stats.LoadStall, true
 		}
 		return stats.NonLoadDepStall, true
 	}
-	var addrs []uint32
+	addrs := m.addrScratch[:0]
 	for _, d := range set {
 		if d.Done || !d.In.Op.IsLoad() {
 			continue
@@ -236,6 +245,7 @@ func (m *Machine) bBlocked(set []*pipeline.DynInst) (stats.CycleClass, bool) {
 		}
 		addrs = append(addrs, isa.EffectiveAddress(m.bst.Read(d.In.Src1), d.In.Imm))
 	}
+	m.addrScratch = addrs
 	if len(addrs) > 0 && !m.hier.CanAcceptLoads(addrs, m.now) {
 		return stats.ResourceStall, true
 	}

@@ -125,6 +125,49 @@ type cqGroup struct {
 	enq   int64 // cycle enqueued; the B-pipe may dequeue it strictly later
 }
 
+// cqRing is the coupling queue: a fixed-capacity ring of issue groups sized
+// at New. Capacity is CQSize groups — every queued group holds at least one
+// instruction and total queued instructions are bounded by CQSize, so the
+// ring can never overflow. Group slots keep their instruction-slice backing
+// across reuse, so steady-state enqueue/dequeue allocates nothing.
+type cqRing struct {
+	groups  []cqGroup
+	headIdx int
+	count   int
+}
+
+func newCQRing(capGroups int) cqRing {
+	return cqRing{groups: make([]cqGroup, capGroups)}
+}
+
+// len returns the number of queued groups.
+func (q *cqRing) len() int { return q.count }
+
+// at returns the i-th oldest queued group (0 is the head).
+func (q *cqRing) at(i int) *cqGroup {
+	return &q.groups[(q.headIdx+i)%len(q.groups)]
+}
+
+// pushTail claims the next free slot, reset to an empty group. The caller
+// must have checked occupancy against CQSize.
+func (q *cqRing) pushTail() *cqGroup {
+	g := q.at(q.count)
+	q.count++
+	g.insts = g.insts[:0]
+	g.enq = 0
+	return g
+}
+
+// popHead discards the oldest group (its slot, and instruction-slice
+// backing, is reused by a later pushTail).
+func (q *cqRing) popHead() {
+	q.headIdx = (q.headIdx + 1) % len(q.groups)
+	q.count--
+}
+
+// truncate keeps the n oldest groups and discards the rest (tail squash).
+func (q *cqRing) truncate(n int) { q.count = n }
+
 // Machine is one two-pass simulation instance.
 type Machine struct {
 	cfg  Config
@@ -142,7 +185,7 @@ type Machine struct {
 	bst      *arch.State
 	bready   [isa.NumRegs]int64
 	bIsLoad  [isa.NumRegs]bool
-	cq       []cqGroup
+	cq       cqRing
 	cqCount  int
 	sbuf     mem.StoreBuffer
 	alat     mem.ALAT
@@ -151,9 +194,22 @@ type Machine struct {
 	// loads-past-deferred-store statistic.
 	deferredStores int
 
+	// arena recycles DynInst records (shared with the front end, which
+	// allocates from it at fetch); retired and squashed instructions are
+	// returned to it so the cycle loop performs no per-instruction
+	// allocation.
+	arena *pipeline.Arena
+	// dispatchSet, srcScratch and addrScratch are reusable hot-loop
+	// buffers (buildDispatchSet, bBlocked, canMerge).
+	dispatchSet []*pipeline.DynInst
+	srcScratch  []isa.Reg
+	addrScratch []uint32
+
 	// checkpoints holds A-file snapshots taken when branches defer
-	// (CheckpointRepair only), keyed by the branch's dynamic ID.
+	// (CheckpointRepair only), keyed by the branch's dynamic ID; cpFree
+	// recycles discarded snapshot arrays.
 	checkpoints map[uint64]*[isa.NumRegs]aEntry
+	cpFree      []*[isa.NumRegs]aEntry
 	// conflictPCs marks load PCs that caused store-conflict flushes
 	// (ConflictPredictor only).
 	conflictPCs map[int32]bool
@@ -184,7 +240,10 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 		fe:   pipeline.NewFrontEnd(cfg.Front, prog, hier, bpred.New(cfg.Bpred)),
 		hier: hier,
 		bst:  arch.NewState(prog.InitialImage()),
+		cq:   newCQRing(cfg.CQSize),
 	}
+	m.arena = m.fe.Arena()
+	m.dispatchSet = make([]*pipeline.DynInst, 0, cfg.IssueWidth)
 	m.alat.Capacity = cfg.ALATCapacity
 	if cfg.CheckpointRepair {
 		m.checkpoints = make(map[uint64]*[isa.NumRegs]aEntry)
@@ -331,19 +390,32 @@ func (m *Machine) repairAFile(flushID uint64) (repaired int) {
 }
 
 // snapshotAFile records the A-file for checkpoint repair when a branch
-// defers.
+// defers. Snapshot arrays are recycled through cpFree so steady-state
+// checkpointing does not allocate.
 func (m *Machine) snapshotAFile(branchID uint64) {
 	if m.checkpoints == nil {
 		return
 	}
-	cp := m.afile // array copy
-	m.checkpoints[branchID] = &cp
+	var cp *[isa.NumRegs]aEntry
+	if n := len(m.cpFree); n > 0 {
+		cp = m.cpFree[n-1]
+		m.cpFree = m.cpFree[:n-1]
+	} else {
+		cp = new([isa.NumRegs]aEntry)
+	}
+	*cp = m.afile
+	m.checkpoints[branchID] = cp
 }
 
-// dropCheckpoint discards a branch's snapshot (on retirement or squash).
+// dropCheckpoint discards a branch's snapshot (on retirement or squash) and
+// recycles its storage.
 func (m *Machine) dropCheckpoint(id uint64) {
-	if m.checkpoints != nil {
+	if m.checkpoints == nil {
+		return
+	}
+	if cp, ok := m.checkpoints[id]; ok {
 		delete(m.checkpoints, id)
+		m.cpFree = append(m.cpFree, cp)
 	}
 }
 
@@ -359,10 +431,11 @@ func (m *Machine) restoreCheckpoint(branchID uint64) bool {
 }
 
 // squashCQFrom removes every queued instruction with ID ≥ flushID, along
-// with its store-buffer and ALAT footprint.
+// with its store-buffer and ALAT footprint. Squashed records go back to the
+// arena.
 func (m *Machine) squashCQFrom(flushID uint64) {
-	for gi := range m.cq {
-		g := &m.cq[gi]
+	for gi := 0; gi < m.cq.len(); gi++ {
+		g := m.cq.at(gi)
 		for ii, d := range g.insts {
 			if d.ID < flushID {
 				continue
@@ -370,16 +443,20 @@ func (m *Machine) squashCQFrom(flushID uint64) {
 			for _, dd := range g.insts[ii:] {
 				m.uncount(dd)
 			}
+			m.arena.PutAll(g.insts[ii:])
 			g.insts = g.insts[:ii]
-			for _, lg := range m.cq[gi+1:] {
+			for li := gi + 1; li < m.cq.len(); li++ {
+				lg := m.cq.at(li)
 				for _, dd := range lg.insts {
 					m.uncount(dd)
 				}
+				m.arena.PutAll(lg.insts)
+				lg.insts = lg.insts[:0]
 			}
 			if len(g.insts) == 0 {
-				m.cq = m.cq[:gi]
+				m.cq.truncate(gi)
 			} else {
-				m.cq = m.cq[:gi+1]
+				m.cq.truncate(gi + 1)
 			}
 			m.sbuf.FlushFrom(flushID)
 			m.alat.FlushFrom(flushID)
