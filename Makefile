@@ -3,12 +3,19 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke
+.PHONY: ci vet lint build test race bench bench-smoke
 
-ci: vet build race bench-smoke
+ci: vet lint build race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repository's domain-specific analyzers (cmd/flealint) over
+# the module via the vet driver: allocation-free hot paths, determinism,
+# guarded tracing, arena discipline, unique metric names.
+lint:
+	$(GO) build -o bin/flealint ./cmd/flealint
+	$(GO) vet -vettool=bin/flealint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,40 @@
+// Command flealint is the repository's domain-specific vet tool. It bundles
+// five analyzers that enforce, at compile time, the invariants the runtime
+// tests (steady-state allocation freedom, byte-determinism, zero-overhead
+// tracing) can only catch after the fact:
+//
+//	hotalloc         no allocating constructs in //flea:hotpath functions
+//	nondeterminism   no map-iteration order, wall-clock time or global
+//	                 randomness in simulation packages
+//	traceguard       trace emission behind Enabled() guards; no registry
+//	                 lookups on hot paths
+//	arenadiscipline  DynInst records recycled or handed off on every path
+//	statname         unique, constant metric registration names
+//
+// It speaks the go vet driver protocol; run it over the module with
+//
+//	go build -o bin/flealint ./cmd/flealint
+//	go vet -vettool=bin/flealint ./...
+//
+// or simply `make lint` (part of `make ci`).
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"fleaflicker/internal/analysis/arenadiscipline"
+	"fleaflicker/internal/analysis/hotalloc"
+	"fleaflicker/internal/analysis/nondeterminism"
+	"fleaflicker/internal/analysis/statname"
+	"fleaflicker/internal/analysis/traceguard"
+)
+
+func main() {
+	unitchecker.Main(
+		hotalloc.Analyzer,
+		nondeterminism.Analyzer,
+		traceguard.Analyzer,
+		arenadiscipline.Analyzer,
+		statname.Analyzer,
+	)
+}

@@ -1,0 +1,292 @@
+// Package analyzertest is a self-contained harness for testing flealint
+// analyzers against fixture packages, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest (which is not vendored — the
+// toolchain ships only the unitchecker side of the framework).
+//
+// Fixtures live under <analyzer>/testdata/src/<importpath>/ as ordinary Go
+// files annotated with want comments:
+//
+//	m := make(map[int]int) // want "make allocates"
+//
+// A want comment holds one or more quoted regular expressions; each must
+// match a distinct diagnostic reported on that line, and every diagnostic
+// must be matched by an expectation. Fixture packages may import one another
+// by their testdata-relative import path (so a fixture named internal/twopass
+// can model the real machine package), and may import the standard library.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes the fixture packages at the given testdata-relative import
+// paths with analyzer a and compares the diagnostics against the fixtures'
+// want comments. testdata is the path of the testdata directory, typically
+// simply "testdata".
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	ld := &loader{
+		fset:     token.NewFileSet(),
+		srcRoot:  filepath.Join(testdata, "src"),
+		packages: make(map[string]*fixturePkg),
+	}
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		diags := runAnalyzer(t, a, ld.fset, pkg)
+		checkDiagnostics(t, ld.fset, pkg, diags)
+	}
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader loads and type-checks fixture packages on demand, resolving fixture
+// imports recursively and standard-library imports through the compiler's
+// export data.
+type loader struct {
+	fset     *token.FileSet
+	srcRoot  string
+	packages map[string]*fixturePkg
+	std      types.Importer
+}
+
+// Import implements types.Importer: fixture packages shadow the standard
+// library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.srcRoot, path); isDir(dir) {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.pkg, nil
+	}
+	if ld.std == nil {
+		ld.std = importer.Default()
+	}
+	return ld.std.Import(path)
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := ld.packages[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	ld.packages[path] = nil // cycle guard
+
+	dir := filepath.Join(ld.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &fixturePkg{path: path, files: files, pkg: tpkg, info: info}
+	ld.packages[path] = pkg
+	return pkg, nil
+}
+
+// runAnalyzer runs a (and, first, its transitive Requires) over one fixture
+// package and returns the diagnostics of a itself.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, pkg *fixturePkg) []analysis.Diagnostic {
+	t.Helper()
+	results := make(map[*analysis.Analyzer]interface{})
+	var diags []analysis.Diagnostic
+
+	var exec func(a *analysis.Analyzer) interface{}
+	exec = func(a *analysis.Analyzer) interface{} {
+		if res, ok := results[a]; ok {
+			return res
+		}
+		resultOf := make(map[*analysis.Analyzer]interface{})
+		for _, req := range a.Requires {
+			resultOf[req] = exec(req)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      pkg.files,
+			Pkg:        pkg.pkg,
+			TypesInfo:  pkg.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s failed on %s: %v", a.Name, pkg.path, err)
+		}
+		results[a] = res
+		return res
+	}
+
+	// Diagnostics of required analyzers (there should be none) are dropped:
+	// only the root analyzer's reports are kept.
+	for _, req := range a.Requires {
+		exec(req)
+	}
+	diags = diags[:0]
+	exec(a)
+	return diags
+}
+
+// expectation is one compiled want pattern.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	source  string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// gatherExpectations parses the want comments of every file in the package.
+func gatherExpectations(t *testing.T, fset *token.FileSet, pkg *fixturePkg) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						t.Fatalf("%s: malformed want pattern %q", pos, rest)
+					}
+					lit, remainder, err := cutStringLit(rest)
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					pattern, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: unquoting %s: %v", pos, lit, err)
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: compiling %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, rx: rx, source: pattern,
+					})
+					rest = strings.TrimSpace(remainder)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// cutStringLit splits off a leading Go string literal (quoted or backquoted).
+func cutStringLit(s string) (lit, rest string, err error) {
+	switch s[0] {
+	case '`':
+		if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+			return s[:i+2], s[i+2:], nil
+		}
+	case '"':
+		for i := 1; i < len(s); i++ {
+			switch s[i] {
+			case '\\':
+				i++
+			case '"':
+				return s[:i+1], s[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string literal in want pattern %q", s)
+}
+
+// checkDiagnostics matches diagnostics against expectations one-to-one.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, pkg *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := gatherExpectations(t, fset, pkg)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.source)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package annotation implements the //flea: directive comments and the type
+// and package matching shared by the flealint analyzers (see cmd/flealint).
+//
+// Directives follow the Go toolchain convention of machine-readable comments
+// with no space after the slashes. The vocabulary:
+//
+//	//flea:hotpath        this function runs in the steady-state cycle loop;
+//	                      hotalloc forbids allocating constructs in its body
+//	                      and traceguard forbids registry lookups in it.
+//	//flea:coldpath       the next (or same-line) statement inside a hotpath
+//	                      function is a warmup or failure path — slab
+//	                      allocation, first-touch page creation — excluded
+//	                      from hotalloc.
+//	//flea:orderinvariant the next (or same-line) map range statement has an
+//	                      order-independent body; nondeterminism accepts it.
+//	//flea:traceonly      this function only runs when tracing is enabled;
+//	                      its own emissions need no Enabled() guard, but
+//	                      traceguard requires every call TO it to be guarded.
+//	//flea:handoff        the next (or same-line) statement truncates or
+//	                      reassigns a DynInst slice whose records are owned
+//	                      elsewhere; arenadiscipline accepts it.
+//
+// A directive attaches to a function when it appears anywhere in the doc
+// comment block, and to a statement when it appears on the statement's first
+// line or the line immediately above it.
+package annotation
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The directive names.
+const (
+	Hotpath        = "hotpath"
+	Coldpath       = "coldpath"
+	OrderInvariant = "orderinvariant"
+	TraceOnly      = "traceonly"
+	Handoff        = "handoff"
+)
+
+// Prefix is the comment prefix shared by all flealint directives.
+const Prefix = "//flea:"
+
+type markKey struct {
+	file string
+	line int
+	name string
+}
+
+// Marks indexes every //flea: directive in a set of files by file and line.
+type Marks struct {
+	fset   *token.FileSet
+	byLine map[markKey]bool
+}
+
+// Gather scans the comments of files (which must have been parsed with
+// parser.ParseComments) for //flea: directives.
+func Gather(fset *token.FileSet, files []*ast.File) *Marks {
+	m := &Marks{fset: fset, byLine: make(map[markKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := directiveName(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m.byLine[markKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return m
+}
+
+// directiveName extracts the directive name from a comment text like
+// "//flea:hotpath (explanation)".
+func directiveName(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, Prefix)
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// Marked reports whether node n carries the named directive: on n's first
+// line (a trailing comment) or on the line immediately above it.
+func (m *Marks) Marked(n ast.Node, name string) bool {
+	pos := m.fset.Position(n.Pos())
+	return m.byLine[markKey{pos.Filename, pos.Line, name}] ||
+		m.byLine[markKey{pos.Filename, pos.Line - 1, name}]
+}
+
+// FuncMarked reports whether a function declaration carries the named
+// directive, in its doc comment or directly above its first line.
+func (m *Marks) FuncMarked(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if got, ok := directiveName(c.Text); ok && got == name {
+				return true
+			}
+		}
+	}
+	return m.Marked(fd, name)
+}
+
+// IsTestFile reports whether the file a position belongs to is a _test.go
+// file. The flealint invariants govern production code; tests allocate,
+// construct events, and iterate maps freely.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgIn reports whether the package path equals, or ends with, one of the
+// given path suffixes. Suffix matching lets analysistest fixtures stand in
+// for the real repository packages.
+func PkgIn(pkg *types.Package, suffixes ...string) bool {
+	path := pkg.Path()
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsNamed reports whether t — after stripping pointers and aliases — is a
+// named type with the given name declared in a package whose base name is
+// pkgBase. Matching by package base name (not full path) lets analysistest
+// fixtures model the real trace/pipeline/metrics/stats packages.
+func IsNamed(t types.Type, pkgBase, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkgBase || strings.HasSuffix(p, "/"+pkgBase) || obj.Pkg().Name() == pkgBase
+}
+
+// IsEnabledGuard reports whether cond contains a call x.Enabled() where x is
+// a (possibly nil) *trace.Tracer — the canonical zero-overhead gate around
+// event construction.
+func IsEnabledGuard(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Enabled" {
+			return true
+		}
+		if IsNamed(info.TypeOf(sel.X), "trace", "Tracer") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// CalleeFunc resolves the called function or method of a call expression, or
+// nil for calls of builtins, function-typed variables and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsMethod reports whether fn is the named method on the named receiver type
+// declared in a package whose base name is pkgBase.
+func IsMethod(fn *types.Func, pkgBase, recv, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return IsNamed(sig.Recv().Type(), pkgBase, recv)
+}
+
+// IsPkgFunc reports whether fn is a package-level function (not a method)
+// named name in the package with the exact import path pkgPath.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && (name == "" || fn.Name() == name)
+}

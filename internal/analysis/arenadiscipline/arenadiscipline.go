@@ -1,0 +1,148 @@
+// Package arenadiscipline defines an analyzer enforcing the repository's
+// DynInst ownership protocol: every record obtained from pipeline.Arena must
+// eventually be recycled (Arena.Put/PutAll) or handed off to a structure that
+// recycles it. Dropping records starves the freelist and silently reintroduces
+// steady-state allocation, defeating the arena.
+//
+// In the machine packages it reports:
+//
+//   - a statement that calls Arena.Get and discards the result;
+//   - an assignment that truncates or discards a []*pipeline.DynInst
+//     (x = x[:n], x = nil, x = make(...)) in a function that never calls
+//     Arena.Put or Arena.PutAll. Truncations of slices whose records are
+//     owned (and recycled) elsewhere — a ring slot cleared after its records
+//     were handed to the consumer — are marked //flea:handoff with a
+//     justification.
+//
+// The check is per-function and syntactic: a function that recycles some
+// records is trusted to recycle the ones it truncates. The runtime
+// TestSteadyStateAllocationFree remains the backstop; this analyzer points
+// at the offending line when the protocol is broken.
+//
+// Test files are exempt.
+package arenadiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"fleaflicker/internal/analysis/annotation"
+)
+
+// machinePackages are the package-path suffixes through which DynInst
+// ownership flows.
+var machinePackages = []string{
+	"internal/pipeline",
+	"internal/twopass",
+	"internal/runahead",
+	"internal/baseline",
+}
+
+// Analyzer is the arenadiscipline analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenadiscipline",
+	Doc:  "require DynInst records from pipeline.Arena to be recycled or handed off on every path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !annotation.PkgIn(pass.Pkg, machinePackages...) {
+		return nil, nil
+	}
+	marks := annotation.Gather(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if annotation.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, marks, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, marks *annotation.Marks, fd *ast.FuncDecl) {
+	// The Arena's own methods implement the freelist; the protocol governs
+	// its clients.
+	if fd.Recv != nil && len(fd.Recv.List) == 1 &&
+		annotation.IsNamed(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type), "pipeline", "Arena") {
+		return
+	}
+	recycles := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := annotation.CalleeFunc(pass.TypesInfo, call)
+		if annotation.IsMethod(fn, "pipeline", "Arena", "Put") ||
+			annotation.IsMethod(fn, "pipeline", "Arena", "PutAll") {
+			recycles = true
+			return false
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				fn := annotation.CalleeFunc(pass.TypesInfo, call)
+				if annotation.IsMethod(fn, "pipeline", "Arena", "Get") {
+					pass.Reportf(n.Pos(),
+						"DynInst obtained from Arena.Get is dropped; store it, hand it off, or Put it back")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if !isDynInstSlice(pass.TypesInfo.TypeOf(lhs)) {
+					continue
+				}
+				if !discards(pass, n.Rhs[i]) {
+					continue
+				}
+				if recycles || marks.Marked(n, annotation.Handoff) {
+					continue
+				}
+				pass.Reportf(n.Pos(),
+					"assignment discards DynInst records without recycling them; call Arena.Put/PutAll first or mark //flea:handoff with a justification")
+			}
+		}
+		return true
+	})
+}
+
+// isDynInstSlice reports whether t is []*pipeline.DynInst.
+func isDynInstSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return annotation.IsNamed(s.Elem(), "pipeline", "DynInst")
+}
+
+// discards reports whether assigning rhs to a DynInst slice can drop live
+// record references: a truncating re-slice or nil. (Assigning a fresh slice
+// via make or a literal is an initialization idiom — the old value is
+// typically empty — and is left to the runtime allocation test.)
+func discards(pass *analysis.Pass, rhs ast.Expr) bool {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		return rhs.Name == "nil" && pass.TypesInfo.Uses[rhs] == types.Universe.Lookup("nil")
+	}
+	return false
+}

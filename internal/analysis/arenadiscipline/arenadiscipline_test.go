@@ -1,0 +1,13 @@
+package arenadiscipline_test
+
+import (
+	"testing"
+
+	"fleaflicker/internal/analysis/analyzertest"
+	"fleaflicker/internal/analysis/arenadiscipline"
+)
+
+func TestArenadiscipline(t *testing.T) {
+	analyzertest.Run(t, "testdata", arenadiscipline.Analyzer,
+		"internal/twopass", "internal/workload")
+}

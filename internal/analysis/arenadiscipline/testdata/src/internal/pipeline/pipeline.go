@@ -1,0 +1,27 @@
+// Package pipeline models the real internal/pipeline package: the DynInst
+// record and the Arena freelist it is recycled through.
+package pipeline
+
+// DynInst is one in-flight instruction record.
+type DynInst struct{ ID uint64 }
+
+// Arena recycles DynInst records.
+type Arena struct{ free []*DynInst }
+
+// Get returns a record, reusing a recycled one when available.
+func (a *Arena) Get() *DynInst {
+	n := len(a.free)
+	if n == 0 {
+		return &DynInst{}
+	}
+	d := a.free[n-1]
+	a.free = a.free[:n-1]
+	*d = DynInst{}
+	return d
+}
+
+// Put returns one record to the freelist.
+func (a *Arena) Put(d *DynInst) { a.free = append(a.free, d) }
+
+// PutAll returns every record in ds to the freelist.
+func (a *Arena) PutAll(ds []*DynInst) { a.free = append(a.free, ds...) }

@@ -1,0 +1,41 @@
+// Positive fixture: a machine package consuming Arena records.
+package twopass
+
+import "internal/pipeline"
+
+type machine struct {
+	arena *pipeline.Arena
+	ring  []*pipeline.DynInst
+	slot  []*pipeline.DynInst
+}
+
+func (m *machine) dropsGet() {
+	m.arena.Get() // want "DynInst obtained from Arena.Get is dropped"
+}
+
+func (m *machine) truncates() {
+	m.ring = m.ring[:0] // want "assignment discards DynInst records without recycling"
+}
+
+func (m *machine) discardsAll() {
+	m.ring = nil // want "assignment discards DynInst records without recycling"
+}
+
+// recycles truncates only after returning the records, so it is trusted.
+func (m *machine) recycles() {
+	m.arena.PutAll(m.ring)
+	m.ring = m.ring[:0]
+}
+
+// handsOff moves the records to another owner before clearing its slot.
+func (m *machine) handsOff() {
+	m.slot = append(m.slot, m.ring...)
+	//flea:handoff the slot owner recycles these records at retirement
+	m.ring = m.ring[:0]
+}
+
+// keeps stores the record it gets: no diagnostic.
+func (m *machine) keeps() {
+	m.ring = append(m.ring, m.arena.Get())
+	m.arena.Put(m.ring[0])
+}

@@ -1,0 +1,9 @@
+// Negative fixture: not a machine package — the ownership protocol does not
+// apply.
+package workload
+
+import "internal/pipeline"
+
+type gen struct{ ring []*pipeline.DynInst }
+
+func (g *gen) reset() { g.ring = g.ring[:0] }

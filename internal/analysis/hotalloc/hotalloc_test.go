@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"fleaflicker/internal/analysis/analyzertest"
+	"fleaflicker/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analyzertest.Run(t, "testdata", hotalloc.Analyzer, "hotalloc")
+}

@@ -1,0 +1,49 @@
+// Positive fixture: allocating constructs inside //flea:hotpath functions.
+package fixture
+
+import (
+	"fmt"
+
+	"trace"
+)
+
+type record struct{ id int }
+
+type machine struct {
+	buf []int
+	tr  *trace.Tracer
+}
+
+//flea:hotpath
+func (m *machine) hot(n int) {
+	s := make([]int, n) // want "make allocates"
+	_ = s
+	p := new(record) // want "new allocates"
+	_ = p
+	var local []int
+	local = append(local, n) // want "append may grow a fresh backing array"
+	_ = local
+	lits := []int{1, 2} // want "slice literal allocates"
+	_ = lits
+	table := map[int]int{1: 2} // want "map literal allocates"
+	_ = table
+	r := &record{id: n} // want "composite literal escapes to the heap"
+	_ = r
+	fmt.Println(n) // want "fmt.Println allocates and boxes"
+	box := any(n)  // want "boxes its operand"
+	_ = box
+}
+
+//flea:hotpath
+func (m *machine) spawns() {
+	go m.tick()    // want "go statement allocates a goroutine"
+	defer m.tick() // want "defer on the hot path"
+}
+
+func (m *machine) tick() {}
+
+//flea:hotpath
+func (m *machine) escapes() func() {
+	f := func() { m.buf[0] = 1 } // want "escaping closure allocates"
+	return f
+}

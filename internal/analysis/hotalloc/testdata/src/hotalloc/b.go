@@ -1,0 +1,40 @@
+// Negative fixture: the accepted idioms inside a hotpath function, and an
+// unannotated function that allocates freely.
+package fixture
+
+import (
+	"fmt"
+
+	"trace"
+)
+
+//flea:hotpath
+func (m *machine) ok(n int) {
+	m.buf = append(m.buf[:0], n) // re-slice of arg0: recycles backing
+	m.buf = append(m.buf, n)     // self-append to a field: amortized growth
+	scratch := m.buf
+	scratch = append(scratch, n) // self-append to a local derived from a field
+	m.buf = scratch
+	if m.tr.Enabled() {
+		// Guarded block: only runs with tracing on; may allocate.
+		m.tr.Emit(trace.Event{Cycle: int64(n), Note: fmt.Sprintf("cycle %d", n)})
+	}
+	//flea:coldpath warmup growth amortizes across the run
+	grown := make([]int, n)
+	_ = grown
+	bump := func(x int) { m.buf[0] = x } // call-only closure: stays on the stack
+	bump(n)
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n)) // failure path may allocate
+	}
+}
+
+// build is not annotated: allocation is unconstrained.
+func (m *machine) build(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	fmt.Println(out)
+	return out
+}

@@ -1,0 +1,13 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"fleaflicker/internal/analysis/analyzertest"
+	"fleaflicker/internal/analysis/nondeterminism"
+)
+
+func TestNondeterminism(t *testing.T) {
+	analyzertest.Run(t, "testdata", nondeterminism.Analyzer,
+		"internal/twopass", "internal/workload")
+}

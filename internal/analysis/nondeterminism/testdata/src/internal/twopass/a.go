@@ -1,0 +1,34 @@
+// Positive fixture: a simulation package (path suffix internal/twopass).
+package twopass
+
+import (
+	"math/rand"
+	"time"
+)
+
+type machine struct {
+	table map[int]int
+	sum   int
+	rng   *rand.Rand
+}
+
+func (m *machine) bad() {
+	for k, v := range m.table { // want "map iteration order is nondeterministic"
+		m.sum += k + v
+	}
+	_ = time.Now()               // want "time.Now feeds wall-clock time"
+	_ = time.Since(time.Time{})  // want "time.Since feeds wall-clock time"
+	m.sum += rand.Int()          // want "rand.Int draws from the process-global source"
+}
+
+func (m *machine) good() {
+	//flea:orderinvariant summation is commutative; order cannot reach state
+	for _, v := range m.table {
+		m.sum += v
+	}
+	for i, v := range []int{1, 2, 3} { // slice range: ordered
+		m.sum += i + v
+	}
+	m.rng = rand.New(rand.NewSource(1)) // explicit construction is accepted
+	m.sum += m.rng.Int()                // methods on a seeded generator too
+}

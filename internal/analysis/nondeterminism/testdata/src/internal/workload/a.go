@@ -1,0 +1,17 @@
+// Negative fixture: not a simulation package — generation-time code may
+// iterate maps and read the clock freely.
+package workload
+
+import "time"
+
+type gen struct {
+	weights map[string]int
+	total   int
+}
+
+func (g *gen) sum() {
+	for _, w := range g.weights {
+		g.total += w
+	}
+	_ = time.Now()
+}

@@ -1,0 +1,13 @@
+package statname_test
+
+import (
+	"testing"
+
+	"fleaflicker/internal/analysis/analyzertest"
+	"fleaflicker/internal/analysis/statname"
+)
+
+func TestStatname(t *testing.T) {
+	analyzertest.Run(t, "testdata", statname.Analyzer,
+		"a", "internal/stats")
+}

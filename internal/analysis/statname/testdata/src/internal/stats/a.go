@@ -1,0 +1,18 @@
+// Negative fixture: the stats package derives the canonical name matrix
+// programmatically and is exempt from the constant-argument rule. Its
+// constant block is still checked for uniqueness (no collisions here).
+package stats
+
+import "metrics"
+
+const (
+	MetricCyclePrefix = "cycles_"
+	MetricInsts       = "instructions_total"
+)
+
+func classMetricName(tag string) string { return MetricCyclePrefix + tag }
+
+func register(reg *metrics.Registry, tag string) {
+	reg.Counter(classMetricName(tag))
+	reg.Counter(MetricInsts)
+}

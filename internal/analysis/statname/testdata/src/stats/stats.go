@@ -1,0 +1,8 @@
+// Package stats models the real internal/stats Collector facade.
+package stats
+
+// Collector owns per-run metric bookkeeping.
+type Collector struct{ counters map[string]int64 }
+
+// Counter registers (or finds) the named counter.
+func (c *Collector) Counter(name string) int64 { return c.counters[name] }

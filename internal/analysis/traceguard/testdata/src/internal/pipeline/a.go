@@ -1,0 +1,50 @@
+// Positive fixture: a machine package (path suffix internal/pipeline).
+package pipeline
+
+import (
+	"metrics"
+	"trace"
+)
+
+type machine struct {
+	tr     *trace.Tracer
+	reg    *metrics.Registry
+	cycles *metrics.Counter
+	now    int64
+}
+
+func (m *machine) unguarded() {
+	m.tr.Emit(trace.Event{Cycle: m.now}) // want "Tracer.Emit called outside an Enabled" "trace.Event constructed outside an Enabled"
+}
+
+func (m *machine) guarded() {
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{Cycle: m.now})
+	}
+}
+
+// emit reports the current cycle unconditionally; its callers hold the guard.
+//
+//flea:traceonly callers must check Enabled first
+func (m *machine) emit() {
+	m.tr.Emit(trace.Event{Cycle: m.now})
+}
+
+func (m *machine) callsHelper() {
+	m.emit() // want "call to //flea:traceonly helper emit outside an Enabled"
+	if m.tr.Enabled() {
+		m.emit()
+	}
+}
+
+//flea:hotpath
+func (m *machine) hot() {
+	c := m.reg.Counter("cycles_total") // want "registry lookup Registry.Counter on a //flea:hotpath function"
+	c.Inc()
+	m.cycles.Inc() // pre-resolved handle: fine
+}
+
+// resolve runs at construction time (not annotated): lookups are fine here.
+func (m *machine) resolve() {
+	m.cycles = m.reg.Counter("cycles_total")
+}

@@ -1,0 +1,11 @@
+// Negative fixture: not a machine package — offline tooling may construct
+// events unguarded.
+package tools
+
+import "trace"
+
+type dumper struct{ tr *trace.Tracer }
+
+func (d *dumper) dump(cycle int64) {
+	d.tr.Emit(trace.Event{Cycle: cycle})
+}

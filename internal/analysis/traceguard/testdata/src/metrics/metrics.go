@@ -1,0 +1,50 @@
+// Package metrics models the real internal/metrics package: a registry of
+// named counters and gauges with lookup-or-create semantics.
+package metrics
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Gauge is a point-in-time metric.
+type Gauge struct{ v int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(n int64) { g.v = n }
+
+// Registry holds metrics by name.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// CounterValue returns the value of the named counter, if registered.
+func (r *Registry) CounterValue(name string) (int64, bool) {
+	c, ok := r.counters[name]
+	if !ok {
+		return 0, false
+	}
+	return c.v, true
+}

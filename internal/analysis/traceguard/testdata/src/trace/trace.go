@@ -1,0 +1,18 @@
+// Package trace models the real internal/trace package: a nil-by-default
+// Tracer whose Enabled method gates all event construction.
+package trace
+
+// Event is one trace record.
+type Event struct {
+	Cycle int64
+	Note  string
+}
+
+// Tracer delivers events to a sink; the nil Tracer is disabled.
+type Tracer struct{ sink func(Event) }
+
+// Enabled reports whether a sink is attached.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Emit delivers one event.
+func (t *Tracer) Emit(e Event) { t.sink(e) }

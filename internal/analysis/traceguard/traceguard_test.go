@@ -1,0 +1,13 @@
+package traceguard_test
+
+import (
+	"testing"
+
+	"fleaflicker/internal/analysis/analyzertest"
+	"fleaflicker/internal/analysis/traceguard"
+)
+
+func TestTraceguard(t *testing.T) {
+	analyzertest.Run(t, "testdata", traceguard.Analyzer,
+		"internal/pipeline", "internal/tools")
+}

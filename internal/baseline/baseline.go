@@ -134,6 +134,8 @@ func (m *Machine) Run() (*stats.Run, error) {
 }
 
 // step attempts to dispatch the head issue group and classifies the cycle.
+//
+//flea:hotpath
 func (m *Machine) step() {
 	g := m.fe.Head(m.now)
 	if g == nil {
@@ -164,6 +166,8 @@ func (m *Machine) step() {
 // destination must be free of a pending longer-latency write (the WAW stall
 // condition typical of EPIC scoreboards, §3.3), and the memory system must
 // be able to accept the group's loads.
+//
+//flea:hotpath
 func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, bool) {
 	blockedUntil := int64(-1)
 	blockedByLoad := false
@@ -211,6 +215,8 @@ func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, bool) {
 }
 
 // dispatch executes an issue group whose operands are all ready.
+//
+//flea:hotpath
 func (m *Machine) dispatch(g *pipeline.Group) {
 	for _, d := range g.Insts {
 		in := d.In
@@ -250,6 +256,7 @@ func (m *Machine) dispatch(g *pipeline.Group) {
 	}
 }
 
+//flea:hotpath
 func (m *Machine) setReady(r isa.Reg, at int64, fromLoad bool) {
 	if r == isa.RegNone || r.Hardwired() {
 		return
@@ -261,6 +268,8 @@ func (m *Machine) setReady(r isa.Reg, at int64, fromLoad bool) {
 // resolveBranch executes a branch (or halt), trains the predictor, and
 // redirects the front end on a misprediction. It reports whether younger
 // instructions in the same group must be squashed.
+//
+//flea:hotpath
 func (m *Machine) resolveBranch(d *pipeline.DynInst, predOn bool) (squash bool) {
 	in := d.In
 	if in.Op == isa.OpHalt {

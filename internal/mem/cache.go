@@ -76,15 +76,20 @@ func newCache(cfg CacheConfig, name string) *cache {
 	return &cache{cfg: cfg, lineShift: shift, setShift: setShift, setMask: uint32(nsets - 1), sets: sets}
 }
 
+//flea:hotpath
 func (c *cache) index(addr uint32) (set uint32, tag uint32) {
 	line := addr >> c.lineShift
 	return line & c.setMask, line >> c.setShift
 }
 
 // lineOf returns the line number containing addr.
+//
+//flea:hotpath
 func (c *cache) lineOf(addr uint32) uint32 { return addr >> c.lineShift }
 
 // lookup probes for addr; on hit the line's LRU state is refreshed.
+//
+//flea:hotpath
 func (c *cache) lookup(addr uint32) bool {
 	c.tick++
 	c.stats.Accesses++
@@ -102,6 +107,8 @@ func (c *cache) lookup(addr uint32) bool {
 
 // fill installs the line containing addr, evicting the LRU way if needed.
 // It reports whether a dirty line was written back.
+//
+//flea:hotpath
 func (c *cache) fill(addr uint32, dirty bool) (writeback bool) {
 	c.tick++
 	set, tag := c.index(addr)
@@ -131,6 +138,8 @@ func (c *cache) fill(addr uint32, dirty bool) (writeback bool) {
 }
 
 // setDirty marks the line containing addr dirty if present; reports presence.
+//
+//flea:hotpath
 func (c *cache) setDirty(addr uint32) bool {
 	set, tag := c.index(addr)
 	for i := range c.sets[set] {

@@ -26,6 +26,7 @@ func NewImage() *Image {
 // Clone returns a deep copy of the image.
 func (m *Image) Clone() *Image {
 	c := NewImage()
+	//flea:orderinvariant every page is copied; the result does not depend on visit order
 	for k, p := range m.pages {
 		np := *p
 		c.pages[k] = &np
@@ -101,6 +102,7 @@ func (m *Image) Equal(o *Image) bool {
 
 // subset reports whether every nonzero byte of m matches o.
 func (m *Image) subset(o *Image) bool {
+	//flea:orderinvariant conjunction over all pages; order cannot change the verdict
 	for k, p := range m.pages {
 		op := o.pages[k]
 		for i, b := range p {
@@ -121,13 +123,16 @@ func (m *Image) subset(o *Image) bool {
 // the images are equal.
 func (m *Image) FirstDifference(o *Image) (addr uint32, ok bool) {
 	seen := make(map[uint32]bool)
+	//flea:orderinvariant set construction; membership is order-independent
 	for k := range m.pages {
 		seen[k] = true
 	}
+	//flea:orderinvariant set construction; membership is order-independent
 	for k := range o.pages {
 		seen[k] = true
 	}
 	best := uint64(1 << 33)
+	//flea:orderinvariant computes a minimum over the set; order cannot change it
 	for k := range seen {
 		base := k << pageBits
 		for i := 0; i < pageSize; i++ {

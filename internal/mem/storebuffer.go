@@ -27,10 +27,14 @@ type StoreBuffer struct {
 }
 
 // Len returns the number of buffered stores.
+//
+//flea:hotpath
 func (b *StoreBuffer) Len() int { return len(b.entries) }
 
 // Insert adds a store. IDs must be inserted in increasing order (A-pipe
 // program order); Insert panics otherwise, as that indicates a machine bug.
+//
+//flea:hotpath
 func (b *StoreBuffer) Insert(e StoreEntry) {
 	if n := len(b.entries); n > 0 && b.entries[n-1].ID >= e.ID {
 		panic("mem: StoreBuffer entries must be inserted in increasing ID order")
@@ -55,6 +59,8 @@ const (
 // Forward computes the value a load (with dynamic ID loadID) reads, merging
 // bytes from the youngest overlapping older store entries with bytes from
 // img. size must be ≤ 8.
+//
+//flea:hotpath
 func (b *StoreBuffer) Forward(loadID uint64, addr uint32, size int, img *Image) (val uint64, res ForwardResult) {
 	val = img.Read(addr, size)
 	for i := 0; i < size; i++ {
@@ -84,6 +90,8 @@ func (b *StoreBuffer) Forward(loadID uint64, addr uint32, size int, img *Image) 
 
 // OlderUnknownOverlap reports whether any entry older than loadID overlaps
 // [addr, addr+size) and has unknown data.
+//
+//flea:hotpath
 func (b *StoreBuffer) OlderUnknownOverlap(loadID uint64, addr uint32, size int) bool {
 	for j := range b.entries {
 		e := &b.entries[j]
@@ -100,11 +108,15 @@ func (b *StoreBuffer) OlderUnknownOverlap(loadID uint64, addr uint32, size int) 
 // HasOlderThan reports whether the buffer holds any entry with ID < id.
 // The two-pass machine uses this to detect loads issued past a deferred
 // store (for the §4 conflict statistics).
+//
+//flea:hotpath
 func (b *StoreBuffer) HasOlderThan(id uint64) bool {
 	return len(b.entries) > 0 && b.entries[0].ID < id
 }
 
 // Remove deletes the entry with the given ID, if present.
+//
+//flea:hotpath
 func (b *StoreBuffer) Remove(id uint64) {
 	for i := range b.entries {
 		if b.entries[i].ID == id {
@@ -116,6 +128,8 @@ func (b *StoreBuffer) Remove(id uint64) {
 
 // FlushFrom removes every entry with ID ≥ id (squash on misprediction or
 // store-conflict recovery).
+//
+//flea:hotpath
 func (b *StoreBuffer) FlushFrom(id uint64) {
 	for i := range b.entries {
 		if b.entries[i].ID >= id {

@@ -27,10 +27,14 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//flea:hotpath
 func (c *Counter) Inc() { c.v++ }
 
 // Add adds n (n may be negative only to reverse a speculative count that
 // was squashed; a counter must never go below zero at rest).
+//
+//flea:hotpath
 func (c *Counter) Add(n int64) { c.v += n }
 
 // Value returns the current count.
@@ -42,6 +46,8 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//flea:hotpath
 func (g *Gauge) Set(n int64) { g.v = n }
 
 // Value returns the current value.

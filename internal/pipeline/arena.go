@@ -24,8 +24,11 @@ type Arena struct {
 func NewArena() *Arena { return &Arena{} }
 
 // Get returns a zeroed DynInst, reusing a recycled record when one is free.
+//
+//flea:hotpath
 func (a *Arena) Get() *DynInst {
 	n := len(a.free)
+	//flea:coldpath slab allocation amortizes across the run; steady state reuses the freelist
 	if n == 0 {
 		slab := make([]DynInst, arenaSlab)
 		for i := range slab[:arenaSlab-1] {
@@ -40,7 +43,11 @@ func (a *Arena) Get() *DynInst {
 }
 
 // Put returns one record to the freelist.
+//
+//flea:hotpath
 func (a *Arena) Put(d *DynInst) { a.free = append(a.free, d) }
 
 // PutAll returns every record in ds to the freelist.
+//
+//flea:hotpath
 func (a *Arena) PutAll(ds []*DynInst) { a.free = append(a.free, ds...) }

@@ -99,8 +99,8 @@ type FrontEnd struct {
 
 	pc          int32
 	nextFetchAt int64
-	stalled     bool // fetch blocked behind a no-prediction indirect branch
-	halted      bool // fetch reached a halt
+	stalled     bool    // fetch blocked behind a no-prediction indirect branch
+	halted      bool    // fetch reached a halt
 	queue       []Group // ring storage, len == cfg.QueueCap
 	qhead, qlen int
 
@@ -130,6 +130,8 @@ func (f *FrontEnd) Arena() *Arena { return f.arena }
 
 // Tick advances fetch by one cycle: at most one issue group is fetched along
 // the predicted path.
+//
+//flea:hotpath
 func (f *FrontEnd) Tick(now int64) {
 	if f.stalled || f.halted || now < f.nextFetchAt || f.qlen >= f.cfg.QueueCap {
 		return
@@ -143,6 +145,7 @@ func (f *FrontEnd) Tick(now int64) {
 	start := f.pc
 	end := f.prog.GroupBounds(start)
 	g := &f.queue[(f.qhead+f.qlen)%f.cfg.QueueCap]
+	//flea:handoff the slot's previous records were handed to the machine at Pop; only the backing array is reused
 	g.Insts = g.Insts[:0]
 	g.FetchPC = start
 	next := end // sequential fall-through
@@ -203,6 +206,8 @@ func (f *FrontEnd) Tick(now int64) {
 
 // predictBranch predicts direction and target for branch d at fetch.
 // done=true means fetch must stall (indirect with no target prediction).
+//
+//flea:hotpath
 func (f *FrontEnd) predictBranch(d *DynInst) (taken bool, target int32, done bool) {
 	in := d.In
 	switch in.Op {
@@ -235,6 +240,8 @@ func (f *FrontEnd) predictBranch(d *DynInst) (taken bool, target int32, done boo
 // Head returns the oldest fetched group if it has reached the dispersal
 // point by now, else nil. The returned group lives in the fetch ring: it
 // remains valid after Pop only until the next Tick.
+//
+//flea:hotpath
 func (f *FrontEnd) Head(now int64) *Group {
 	if f.qlen == 0 {
 		return nil
@@ -252,6 +259,8 @@ func (f *FrontEnd) Pending() bool { return f.qlen > 0 }
 
 // Pop consumes the head group. Ownership of its DynInst records passes to
 // the caller, which must eventually return them to Arena().
+//
+//flea:hotpath
 func (f *FrontEnd) Pop() {
 	f.qhead = (f.qhead + 1) % f.cfg.QueueCap
 	f.qlen--
@@ -261,6 +270,8 @@ func (f *FrontEnd) Pop() {
 // to the arena) and restarts fetch at pc on the next cycle. Machines call it
 // on branch misprediction (at resolution time), on indirect-branch
 // resolution when fetch was stalled, and on store-conflict recovery.
+//
+//flea:hotpath
 func (f *FrontEnd) Redirect(pc int32, now int64) {
 	for i := 0; i < f.qlen; i++ {
 		g := &f.queue[(f.qhead+i)%f.cfg.QueueCap]

@@ -164,6 +164,8 @@ func (m *Machine) Run() (*stats.Run, error) {
 
 // stepNormal is the baseline in-order dispatch, except that a load-dependent
 // stall triggers entry into run-ahead mode.
+//
+//flea:hotpath
 func (m *Machine) stepNormal() {
 	g := m.fe.Head(m.now)
 	if g == nil {
@@ -197,6 +199,8 @@ func (m *Machine) stepNormal() {
 // speculative pre-execution. The stall cycles continue to be charged as load
 // stalls (the architectural pipe is still blocked); run-ahead merely warms
 // the caches underneath them.
+//
+//flea:hotpath
 func (m *Machine) enterRunahead(g *pipeline.Group, until int64) {
 	m.RunaheadEntries++
 	if m.tr.Enabled() {
@@ -218,6 +222,8 @@ func (m *Machine) enterRunahead(g *pipeline.Group, until int64) {
 }
 
 // stepRunahead executes one cycle of run-ahead mode.
+//
+//flea:hotpath
 func (m *Machine) stepRunahead() {
 	m.col.Cycle(stats.LoadStall) // the architectural pipe is stalled
 	if m.now >= m.exitAt {
@@ -234,6 +240,8 @@ func (m *Machine) stepRunahead() {
 
 // exitRunahead restores the checkpoint and redirects fetch to the stalled
 // group.
+//
+//flea:hotpath
 func (m *Machine) exitRunahead() {
 	if m.tr.Enabled() {
 		m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvRunaheadExit, Pipe: trace.PipeB,
@@ -246,6 +254,8 @@ func (m *Machine) exitRunahead() {
 // runaheadGroup pre-executes one issue group speculatively: poisoned or
 // unready operands poison destinations; loads prefetch; stores and all
 // register results are discarded at exit.
+//
+//flea:hotpath
 func (m *Machine) runaheadGroup(g *pipeline.Group) {
 	for _, d := range g.Insts {
 		in := d.In
@@ -317,6 +327,8 @@ func (m *Machine) runaheadGroup(g *pipeline.Group) {
 // runaheadBranch resolves a branch speculatively during run-ahead and
 // redirects run-ahead fetch on a misprediction (without predictor training —
 // the architectural pass will train it).
+//
+//flea:hotpath
 func (m *Machine) runaheadBranch(d *pipeline.DynInst, predOn bool) (squash bool) {
 	in := d.In
 	taken := false
@@ -345,6 +357,7 @@ func (m *Machine) runaheadBranch(d *pipeline.DynInst, predOn bool) (squash bool)
 	return true
 }
 
+//flea:hotpath
 func (m *Machine) raRead(r isa.Reg) (isa.Value, bool) {
 	if r == isa.RegNone || r.Hardwired() {
 		return isa.HardwiredValue(r), true
@@ -355,6 +368,7 @@ func (m *Machine) raRead(r isa.Reg) (isa.Value, bool) {
 	return m.raRegs[r], true
 }
 
+//flea:hotpath
 func (m *Machine) raWrite(r isa.Reg, v isa.Value, readyAt int64) {
 	if r == isa.RegNone || r.Hardwired() {
 		return
@@ -364,6 +378,7 @@ func (m *Machine) raWrite(r isa.Reg, v isa.Value, readyAt int64) {
 	m.raReady[r] = readyAt
 }
 
+//flea:hotpath
 func (m *Machine) raPoisonDst(r isa.Reg) {
 	if r == isa.RegNone || r.Hardwired() {
 		return
@@ -373,6 +388,8 @@ func (m *Machine) raPoisonDst(r isa.Reg) {
 
 // groupBlocked mirrors the baseline REG-stage interlocks and additionally
 // reports when the blockage clears.
+//
+//flea:hotpath
 func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, int64, bool) {
 	blockedUntil := int64(-1)
 	blockedByLoad := false
@@ -418,6 +435,8 @@ func (m *Machine) groupBlocked(g *pipeline.Group) (stats.CycleClass, int64, bool
 
 // dispatch is the architectural (non-speculative) group execution, identical
 // to the baseline machine's.
+//
+//flea:hotpath
 func (m *Machine) dispatch(g *pipeline.Group) {
 	for _, d := range g.Insts {
 		in := d.In
@@ -456,6 +475,7 @@ func (m *Machine) dispatch(g *pipeline.Group) {
 	}
 }
 
+//flea:hotpath
 func (m *Machine) setReady(r isa.Reg, at int64, fromLoad bool) {
 	if r == isa.RegNone || r.Hardwired() {
 		return
@@ -464,6 +484,7 @@ func (m *Machine) setReady(r isa.Reg, at int64, fromLoad bool) {
 	m.loadProducer[r] = fromLoad
 }
 
+//flea:hotpath
 func (m *Machine) resolveBranch(d *pipeline.DynInst, predOn bool) (squash bool) {
 	in := d.In
 	if in.Op == isa.OpHalt {

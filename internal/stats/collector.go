@@ -133,50 +133,76 @@ func (c *Collector) Counter(name string) *metrics.Counter { return c.reg.Counter
 // Cycle classifies one execution cycle. The total is incremented together
 // with the class counter, so the Figure 6 invariant (classes sum to the
 // total) holds by construction.
+//
+//flea:hotpath
 func (c *Collector) Cycle(cls CycleClass) {
 	c.cycles.Inc()
 	c.byClass[cls].Inc()
 }
 
 // Instruction counts one architecturally retired instruction.
+//
+//flea:hotpath
 func (c *Collector) Instruction() { c.instructions.Inc() }
 
 // Access notes a data load served at level lvl initiated by pipe p, scaled
 // by the level latency table (Figure 7).
+//
+//flea:hotpath
 func (c *Collector) Access(lvl mem.Level, p Pipe, levelLat [mem.NumLevels]int) {
 	c.access[lvl][p].Inc()
 	c.accessCycles[lvl][p].Add(int64(levelLat[lvl]))
 }
 
 // MispredictA counts a misprediction detected and repaired at A-DET.
+//
+//flea:hotpath
 func (c *Collector) MispredictA() { c.mispredictsA.Inc() }
 
 // MispredictB counts a misprediction detected at B-DET (full flush).
+//
+//flea:hotpath
 func (c *Collector) MispredictB() { c.mispredictsB.Inc() }
 
 // ConflictFlush counts a flush triggered by an ALAT miss.
+//
+//flea:hotpath
 func (c *Collector) ConflictFlush() { c.conflictFlushes.Inc() }
 
 // LoadPastDeferredStore counts an A-pipe load issued past a deferred store.
+//
+//flea:hotpath
 func (c *Collector) LoadPastDeferredStore() { c.loadsPastDeferredStore.Inc() }
 
 // StoreCommitted counts an architecturally committed store.
+//
+//flea:hotpath
 func (c *Collector) StoreCommitted() { c.storesTotal.Inc() }
 
 // StoreDeferred counts a store executed in the B-pipe.
+//
+//flea:hotpath
 func (c *Collector) StoreDeferred() { c.storesDeferred.Inc() }
 
 // Defer counts an instruction deferred to the B-pipe.
+//
+//flea:hotpath
 func (c *Collector) Defer() { c.deferred.Inc() }
 
 // PreExecute counts an instruction completed (or started) in the A-pipe.
+//
+//flea:hotpath
 func (c *Collector) PreExecute() { c.preExecuted.Inc() }
 
 // Regroup counts stop bits removed by the B-pipe regrouper.
+//
+//flea:hotpath
 func (c *Collector) Regroup(n int) { c.regrouped.Add(int64(n)) }
 
 // CQOccupancy accumulates the per-cycle coupling-queue occupancy (and
 // mirrors the instantaneous value into a gauge for live observation).
+//
+//flea:hotpath
 func (c *Collector) CQOccupancy(n int) {
 	c.cqOccupancySum.Add(int64(n))
 	c.cqOccupancy.Set(int64(n))

@@ -13,6 +13,8 @@ import (
 // instructions are deferred into the coupling queue — but it does stop for
 // structural reasons: a full coupling queue, the optional deferral throttle,
 // or the optional anticipable-latency stall.
+//
+//flea:hotpath
 func (m *Machine) stepA() {
 	if m.aHalted {
 		return
@@ -65,6 +67,8 @@ func (m *Machine) stepA() {
 
 // emitA reports one A-pipe dispatch outcome to the trace sink: a deferral
 // or a pre-execution (annotated with the serving cache level for loads).
+//
+//flea:traceonly callers must hold an Enabled() guard; the helper emits unconditionally
 func (m *Machine) emitA(d *pipeline.DynInst) {
 	e := trace.Event{Cycle: m.now, Type: trace.EvPreExec, Pipe: trace.PipeA,
 		ID: d.ID, PC: d.PC, Note: d.In.String()}
@@ -81,6 +85,8 @@ func (m *Machine) emitA(d *pipeline.DynInst) {
 // valid, in-flight results of fixed-latency non-load producers. With
 // StallOnAnticipable the A-pipe waits these out (the compiler has already
 // modelled them) instead of deferring the chain to the B-pipe.
+//
+//flea:hotpath
 func (m *Machine) blockedOnAnticipable(g *pipeline.Group) bool {
 	anticipable := false
 	var srcs []isa.Reg
@@ -106,6 +112,8 @@ func (m *Machine) blockedOnAnticipable(g *pipeline.Group) bool {
 // operands are valid and ready, otherwise defer it to the B-pipe. It reports
 // whether younger instructions in the same group must be squashed (an A-DET
 // misprediction or a halt).
+//
+//flea:hotpath
 func (m *Machine) processA(d *pipeline.DynInst) (squash bool) {
 	in := d.In
 	pv, pok := m.readA(in.Pred)
@@ -171,6 +179,8 @@ func (m *Machine) processA(d *pipeline.DynInst) (squash bool) {
 
 // deferA suppresses an instruction, invalidating its destination so that
 // consumers are deferred transitively.
+//
+//flea:hotpath
 func (m *Machine) deferA(d *pipeline.DynInst) {
 	d.Deferred = true
 	m.col.Defer()
@@ -184,6 +194,8 @@ func (m *Machine) deferA(d *pipeline.DynInst) {
 // memory, initiating the cache access for timing. Loads are deferred when
 // their address is unknown, when an older buffered store has unknown data
 // (§3.4), or when no outstanding-load slot is free.
+//
+//flea:hotpath
 func (m *Machine) loadA(d *pipeline.DynInst) {
 	in := d.In
 	base, ok := m.readA(in.Src1)
@@ -200,7 +212,7 @@ func (m *Machine) loadA(d *pipeline.DynInst) {
 		m.deferA(d) // known conflict with a store whose data is unknown
 		return
 	}
-	if m.conflictPCs != nil && m.deferredStores > 0 && m.conflictPCs[d.PC] {
+	if m.conflictPC != nil && m.deferredStores > 0 && m.conflictPC[d.PC] {
 		m.deferA(d) // store-wait prediction: this load has conflicted before
 		return
 	}
@@ -226,6 +238,8 @@ func (m *Machine) loadA(d *pipeline.DynInst) {
 // store buffer only; architectural memory is written when the store reaches
 // the B-pipe. A store with a known address but unknown data leaves an
 // address-only buffer entry that defers overlapping younger loads.
+//
+//flea:hotpath
 func (m *Machine) storeA(d *pipeline.DynInst) {
 	in := d.In
 	base, okA := m.readA(in.Src1)
@@ -261,6 +275,8 @@ func (m *Machine) storeA(d *pipeline.DynInst) {
 // front end and younger same-group instructions are squashed; the coupling
 // queue holds nothing younger, so the B-pipe keeps draining (§3.6's "early"
 // repair).
+//
+//flea:hotpath
 func (m *Machine) resolveBranchA(d *pipeline.DynInst, predOn bool) (squash bool) {
 	in := d.In
 	taken := false

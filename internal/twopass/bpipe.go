@@ -23,6 +23,8 @@ type bStatus struct {
 
 // stepB advances the backup (architectural) pipeline by one cycle and
 // classifies the cycle into one of the six Figure 6 classes.
+//
+//flea:hotpath
 func (m *Machine) stepB() {
 	if m.cq.len() == 0 {
 		cls := stats.FrontEndStall
@@ -113,6 +115,8 @@ func (m *Machine) stepB() {
 
 // popHead removes the first n instructions from the coupling queue,
 // returning their records to the arena.
+//
+//flea:hotpath
 func (m *Machine) popHead(n int) {
 	m.cqCount -= n
 	for n > 0 && m.cq.len() > 0 {
@@ -136,29 +140,31 @@ func (m *Machine) popHead(n int) {
 // cross dependences were all satisfied by pre-execution and whose addition
 // fits the machine's issue resources. Each merged boundary is a stop bit the
 // regrouper removed.
+//
+//flea:hotpath
 func (m *Machine) buildDispatchSet() (set []*pipeline.DynInst, ngroups int) {
-	set = append(m.dispatchSet[:0], m.cq.at(0).insts...)
+	m.dispatchSet = append(m.dispatchSet[:0], m.cq.at(0).insts...)
 	ngroups = 1
 	if !m.cfg.Regroup {
-		m.dispatchSet = set
-		return set, ngroups
+		return m.dispatchSet, ngroups
 	}
 	for ngroups < m.cq.len() && m.cq.at(ngroups).enq < m.now {
 		next := m.cq.at(ngroups).insts
-		if !m.canMerge(set, next) {
+		if !m.canMerge(m.dispatchSet, next) {
 			break
 		}
-		set = append(set, next...)
+		m.dispatchSet = append(m.dispatchSet, next...)
 		ngroups++
 	}
-	m.dispatchSet = set
-	return set, ngroups
+	return m.dispatchSet, ngroups
 }
 
 // canMerge reports whether the next queue group may issue together with the
 // current dispatch set: combined width and functional-unit usage must fit,
 // and no instruction in next may depend on a result the set has not already
 // finished pre-executing.
+//
+//flea:hotpath
 func (m *Machine) canMerge(set, next []*pipeline.DynInst) bool {
 	if len(set)+len(next) > m.cfg.IssueWidth {
 		return false
@@ -203,6 +209,8 @@ func (m *Machine) canMerge(set, next []*pipeline.DynInst) bool {
 // Pre-executed instructions never block dispatch (dangling results dispatch
 // with scoreboarded destinations); deferred instructions need ready sources,
 // a WAW-free destination, and — for loads — an outstanding-load slot.
+//
+//flea:hotpath
 func (m *Machine) bBlocked(set []*pipeline.DynInst) (stats.CycleClass, bool) {
 	blockedUntil := int64(-1)
 	blockedByLoad := false
@@ -254,6 +262,8 @@ func (m *Machine) bBlocked(set []*pipeline.DynInst) (stats.CycleClass, bool) {
 
 // processB retires one instruction: merging an A-pipe result, or executing a
 // deferred instruction against architectural state.
+//
+//flea:hotpath
 func (m *Machine) processB(d *pipeline.DynInst) bStatus {
 	if d.Done {
 		return m.mergeB(d)
@@ -264,6 +274,8 @@ func (m *Machine) processB(d *pipeline.DynInst) bStatus {
 // mergeB incorporates a pre-executed instruction's results (the MRG stage).
 // The B-pipe trusts the A-pipe: nothing is recomputed, but pre-executed
 // loads must pass their ALAT check (§3.4).
+//
+//flea:hotpath
 func (m *Machine) mergeB(d *pipeline.DynInst) bStatus {
 	in := d.In
 	if d.PredOn && in.Op.IsLoad() {
@@ -276,8 +288,8 @@ func (m *Machine) mergeB(d *pipeline.DynInst) bStatus {
 				m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvALATConflict, Pipe: trace.PipeB,
 					ID: d.ID, PC: d.PC, Arg: int64(d.Addr), Note: in.String()})
 			}
-			if m.conflictPCs != nil {
-				m.conflictPCs[d.PC] = true
+			if m.conflictPC != nil {
+				m.conflictPC[d.PC] = true
 			}
 			return bStatus{flushFrom: d.ID, retired: false, redirect: d.PC}
 		}
@@ -314,6 +326,8 @@ func (m *Machine) mergeB(d *pipeline.DynInst) bStatus {
 
 // executeDeferredB executes an instruction the A-pipe deferred, with normal
 // in-order semantics against the B-file and architectural memory.
+//
+//flea:hotpath
 func (m *Machine) executeDeferredB(d *pipeline.DynInst) bStatus {
 	in := d.In
 	m.col.Instruction()
@@ -370,6 +384,7 @@ func (m *Machine) executeDeferredB(d *pipeline.DynInst) bStatus {
 	return bStatus{retired: true}
 }
 
+//flea:hotpath
 func (m *Machine) setBReady(r isa.Reg, at int64, fromLoad bool) {
 	if r == isa.RegNone || r.Hardwired() {
 		return
@@ -381,6 +396,8 @@ func (m *Machine) setBReady(r isa.Reg, at int64, fromLoad bool) {
 // resolveBranchB resolves a deferred branch at B-DET. A misprediction here
 // flushes both pipes, the coupling queue and the front end, and repairs the
 // speculative A-file entries from the B-file (§3.6).
+//
+//flea:hotpath
 func (m *Machine) resolveBranchB(d *pipeline.DynInst, predOn bool) bStatus {
 	in := d.In
 	taken := false

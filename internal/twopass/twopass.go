@@ -119,6 +119,13 @@ type aEntry struct {
 	fromLoad bool
 }
 
+// cpEntry associates a deferred branch's dynamic ID with its A-file snapshot
+// (CheckpointRepair, §3.6).
+type cpEntry struct {
+	id uint64
+	cp *[isa.NumRegs]aEntry
+}
+
 // cqGroup is one issue group in the coupling queue.
 type cqGroup struct {
 	insts []*pipeline.DynInst
@@ -141,18 +148,25 @@ func newCQRing(capGroups int) cqRing {
 }
 
 // len returns the number of queued groups.
+//
+//flea:hotpath
 func (q *cqRing) len() int { return q.count }
 
 // at returns the i-th oldest queued group (0 is the head).
+//
+//flea:hotpath
 func (q *cqRing) at(i int) *cqGroup {
 	return &q.groups[(q.headIdx+i)%len(q.groups)]
 }
 
 // pushTail claims the next free slot, reset to an empty group. The caller
 // must have checked occupancy against CQSize.
+//
+//flea:hotpath
 func (q *cqRing) pushTail() *cqGroup {
 	g := q.at(q.count)
 	q.count++
+	//flea:handoff popHead's records were recycled by retire/squash; the slot reuses only the backing array
 	g.insts = g.insts[:0]
 	g.enq = 0
 	return g
@@ -160,12 +174,16 @@ func (q *cqRing) pushTail() *cqGroup {
 
 // popHead discards the oldest group (its slot, and instruction-slice
 // backing, is reused by a later pushTail).
+//
+//flea:hotpath
 func (q *cqRing) popHead() {
 	q.headIdx = (q.headIdx + 1) % len(q.groups)
 	q.count--
 }
 
 // truncate keeps the n oldest groups and discards the rest (tail squash).
+//
+//flea:hotpath
 func (q *cqRing) truncate(n int) { q.count = n }
 
 // Machine is one two-pass simulation instance.
@@ -206,13 +224,17 @@ type Machine struct {
 	addrScratch []uint32
 
 	// checkpoints holds A-file snapshots taken when branches defer
-	// (CheckpointRepair only), keyed by the branch's dynamic ID; cpFree
-	// recycles discarded snapshot arrays.
-	checkpoints map[uint64]*[isa.NumRegs]aEntry
+	// (CheckpointRepair only). Entries are kept in dispatch order — dynamic
+	// IDs only ever increase — so the structure is an ordered slice with
+	// deterministic traversal, not a map; lookups scan at most the
+	// outstanding deferred branches (bounded by CQSize). cpFree recycles
+	// discarded snapshot arrays.
+	checkpoints []cpEntry
 	cpFree      []*[isa.NumRegs]aEntry
-	// conflictPCs marks load PCs that caused store-conflict flushes
-	// (ConflictPredictor only).
-	conflictPCs map[int32]bool
+	// conflictPC marks load PCs that caused store-conflict flushes
+	// (ConflictPredictor only); it is a dense per-PC table, nil when the
+	// predictor is off.
+	conflictPC []bool
 
 	now    int64
 	halted bool
@@ -245,11 +267,8 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 	m.arena = m.fe.Arena()
 	m.dispatchSet = make([]*pipeline.DynInst, 0, cfg.IssueWidth)
 	m.alat.Capacity = cfg.ALATCapacity
-	if cfg.CheckpointRepair {
-		m.checkpoints = make(map[uint64]*[isa.NumRegs]aEntry)
-	}
 	if cfg.ConflictPredictor {
-		m.conflictPCs = make(map[int32]bool)
+		m.conflictPC = make([]bool, len(prog.Insts))
 	}
 	// The A-file starts as a coherent copy of the (zeroed) architectural
 	// file: every register valid and non-speculative.
@@ -309,6 +328,8 @@ func (m *Machine) Run() (*stats.Run, error) {
 // readA reports whether register r is consumable in the A-pipe at now, and
 // its value if so. A register is unusable either because its last writer was
 // deferred (V clear) or because its value is still in flight.
+//
+//flea:hotpath
 func (m *Machine) readA(r isa.Reg) (isa.Value, bool) {
 	if r == isa.RegNone || r.Hardwired() {
 		return isa.HardwiredValue(r), true
@@ -321,6 +342,8 @@ func (m *Machine) readA(r isa.Reg) (isa.Value, bool) {
 }
 
 // writeA records an A-pipe result in the A-file.
+//
+//flea:hotpath
 func (m *Machine) writeA(r isa.Reg, id uint64, v isa.Value, readyAt int64, fromLoad bool) {
 	if r == isa.RegNone || r.Hardwired() {
 		return
@@ -330,6 +353,8 @@ func (m *Machine) writeA(r isa.Reg, id uint64, v isa.Value, readyAt int64, fromL
 
 // invalidateA clears the Valid bit of a deferred instruction's destination,
 // which transitively defers its consumers.
+//
+//flea:hotpath
 func (m *Machine) invalidateA(r isa.Reg, id uint64) {
 	if r == isa.RegNone || r.Hardwired() {
 		return
@@ -344,6 +369,8 @@ func (m *Machine) invalidateA(r isa.Reg, id uint64) {
 // lands only if the A-file entry's DynID still names this instruction (no
 // younger write intervened), arriving FeedbackLatency cycles after the
 // result is produced.
+//
+//flea:hotpath
 func (m *Machine) feedback(r isa.Reg, id uint64, v isa.Value, producedAt int64) {
 	if m.cfg.FeedbackLatency < 0 || r == isa.RegNone || r.Hardwired() {
 		return
@@ -374,6 +401,8 @@ const RepairBandwidth = 8
 // was squashed (ID ≥ flushID), is overwritten with the architectural value.
 // It returns the number of registers repaired, which determines the
 // recovery latency.
+//
+//flea:hotpath
 func (m *Machine) repairAFile(flushID uint64) (repaired int) {
 	for r := range m.afile {
 		reg := isa.Reg(r)
@@ -392,8 +421,10 @@ func (m *Machine) repairAFile(flushID uint64) (repaired int) {
 // snapshotAFile records the A-file for checkpoint repair when a branch
 // defers. Snapshot arrays are recycled through cpFree so steady-state
 // checkpointing does not allocate.
+//
+//flea:hotpath
 func (m *Machine) snapshotAFile(branchID uint64) {
-	if m.checkpoints == nil {
+	if !m.cfg.CheckpointRepair {
 		return
 	}
 	var cp *[isa.NumRegs]aEntry
@@ -401,38 +432,48 @@ func (m *Machine) snapshotAFile(branchID uint64) {
 		cp = m.cpFree[n-1]
 		m.cpFree = m.cpFree[:n-1]
 	} else {
+		//flea:coldpath snapshot arrays amortize through cpFree; steady state recycles
 		cp = new([isa.NumRegs]aEntry)
 	}
 	*cp = m.afile
-	m.checkpoints[branchID] = cp
+	// Dynamic IDs only ever increase, so appending keeps the slice sorted.
+	m.checkpoints = append(m.checkpoints, cpEntry{id: branchID, cp: cp})
 }
 
 // dropCheckpoint discards a branch's snapshot (on retirement or squash) and
 // recycles its storage.
+//
+//flea:hotpath
 func (m *Machine) dropCheckpoint(id uint64) {
-	if m.checkpoints == nil {
+	for i, e := range m.checkpoints {
+		if e.id != id {
+			continue
+		}
+		m.cpFree = append(m.cpFree, e.cp)
+		m.checkpoints = append(m.checkpoints[:i], m.checkpoints[i+1:]...)
 		return
-	}
-	if cp, ok := m.checkpoints[id]; ok {
-		delete(m.checkpoints, id)
-		m.cpFree = append(m.cpFree, cp)
 	}
 }
 
 // restoreCheckpoint reinstates the A-file as of the mispredicted branch's
 // dispatch; reports whether a snapshot existed.
+//
+//flea:hotpath
 func (m *Machine) restoreCheckpoint(branchID uint64) bool {
-	cp, ok := m.checkpoints[branchID]
-	if !ok {
-		return false
+	for i := len(m.checkpoints) - 1; i >= 0; i-- {
+		if m.checkpoints[i].id == branchID {
+			m.afile = *m.checkpoints[i].cp
+			return true
+		}
 	}
-	m.afile = *cp
-	return true
+	return false
 }
 
 // squashCQFrom removes every queued instruction with ID ≥ flushID, along
 // with its store-buffer and ALAT footprint. Squashed records go back to the
 // arena.
+//
+//flea:hotpath
 func (m *Machine) squashCQFrom(flushID uint64) {
 	for gi := 0; gi < m.cq.len(); gi++ {
 		g := m.cq.at(gi)
@@ -468,6 +509,8 @@ func (m *Machine) squashCQFrom(flushID uint64) {
 }
 
 // uncount reverses the queue-occupancy bookkeeping of a squashed entry.
+//
+//flea:hotpath
 func (m *Machine) uncount(d *pipeline.DynInst) {
 	m.cqCount--
 	if d.Deferred {
