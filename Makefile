@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench bench-smoke
+.PHONY: ci vet lint build test race bench bench-smoke race-service
 
 ci: vet lint build race bench-smoke
 
@@ -25,6 +25,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-service is the focused variant CI also runs: the serving subsystem is
+# the one heavily concurrent package, so its tests get a second, repeated
+# pass under the race detector.
+race-service:
+	$(GO) test -race -count=2 ./internal/service/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,0 +1,278 @@
+// Command fleaload is a closed-loop load generator for fleasimd: N
+// concurrent clients submit jobs (a configurable fraction of which are
+// duplicates of a small hot set, exercising the result cache), poll each
+// job to completion, and report a latency histogram with p50/p95/p99.
+//
+// Usage:
+//
+//	fleaload [-addr http://localhost:8080] [-clients 8] [-requests 25]
+//	         [-qps 0] [-dup 0.5] [-bench 300.twolf] [-seed 1]
+//
+// Each client issues -requests jobs back to back (closed loop: the next
+// submission waits for the previous job to finish). -qps > 0 additionally
+// caps the aggregate submission rate. -dup is the probability that a
+// submission repeats one of a small set of hot job specs instead of using
+// a fresh cache key; 429 (queue full) and 503 (draining) responses honour
+// Retry-After and do not count as errors unless they persist.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fleaflicker/internal/service"
+)
+
+// hotSetSize is how many distinct specs the duplicate fraction draws from.
+const hotSetSize = 4
+
+// maxRetries bounds backoff on 429/503 before a submission counts as an
+// error.
+const maxRetries = 20
+
+type counters struct {
+	submitted  atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	errors     atomic.Int64
+	backpress  atomic.Int64
+	dupIssued  atomic.Int64
+	histogram  service.LatencyHistogram
+	latenciesM sync.Mutex
+	latencies  []time.Duration
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "fleasimd base URL")
+		clients  = flag.Int("clients", 8, "concurrent closed-loop clients")
+		requests = flag.Int("requests", 25, "jobs per client")
+		qps      = flag.Float64("qps", 0, "aggregate submission-rate cap (0 = unthrottled)")
+		dup      = flag.Float64("dup", 0.5, "fraction of submissions duplicating a hot spec [0,1]")
+		bench    = flag.String("bench", "300.twolf", "benchmark for generated jobs")
+		model    = flag.String("model", "2P", "model for generated jobs")
+		seed     = flag.Int64("seed", 1, "rng seed for the duplicate pattern")
+	)
+	flag.Parse()
+	if err := run(*addr, *clients, *requests, *qps, *dup, *bench, *model, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "fleaload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, clients, requests int, qps, dup float64, bench, model string, seed int64) error {
+	if clients < 1 || requests < 1 {
+		return fmt.Errorf("need at least one client and one request")
+	}
+	if dup < 0 || dup > 1 {
+		return fmt.Errorf("-dup must be in [0,1]")
+	}
+
+	// Aggregate rate limiter: a shared ticker channel clients pull from.
+	var gate <-chan time.Time
+	if qps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / qps))
+		defer t.Stop()
+		gate = t.C
+	}
+
+	var c counters
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			for r := 0; r < requests; r++ {
+				if gate != nil {
+					<-gate
+				}
+				spec := makeSpec(rng, dup, bench, model, i, r, &c)
+				if err := oneJob(addr, spec, &c); err != nil {
+					c.errors.Add(1)
+					fmt.Fprintf(os.Stderr, "fleaload: client %d: %v\n", i, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(addr, &c, clients, elapsed)
+	if c.errors.Load() > 0 {
+		return fmt.Errorf("%d request errors", c.errors.Load())
+	}
+	return nil
+}
+
+// makeSpec builds the next submission: with probability dup it repeats one
+// of hotSetSize shared specs (same cache key service-side); otherwise the
+// seed field makes the key unique to this (client, request) pair.
+func makeSpec(rng *rand.Rand, dup float64, bench, model string, client, req int, c *counters) service.JobSpec {
+	if rng.Float64() < dup {
+		c.dupIssued.Add(1)
+		return service.JobSpec{Model: model, Bench: bench, Seed: int64(rng.Intn(hotSetSize))}
+	}
+	return service.JobSpec{Model: model, Bench: bench, Seed: int64(1000 + client*1_000_000 + req)}
+}
+
+// oneJob drives a single closed-loop interaction: submit (with Retry-After
+// backoff), then poll to a terminal state, recording end-to-end latency.
+func oneJob(addr string, spec service.JobSpec, c *counters) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+
+	var ack struct {
+		ID       string `json:"id"`
+		Location string `json:"location"`
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(addr+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			err = json.NewDecoder(resp.Body).Decode(&ack)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("decoding ack: %w", err)
+			}
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			c.backpress.Add(1)
+			if attempt >= maxRetries {
+				return fmt.Errorf("still backpressured after %d retries", attempt)
+			}
+			d := retryAfter(resp)
+			time.Sleep(d)
+			continue
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, msg)
+		}
+		break
+	}
+	c.submitted.Add(1)
+
+	for {
+		resp, err := http.Get(addr + ack.Location)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decoding status: %w", err)
+		}
+		switch st.State {
+		case "done":
+			lat := time.Since(start)
+			c.completed.Add(1)
+			c.histogram.Record(lat)
+			c.latenciesM.Lock()
+			c.latencies = append(c.latencies, lat)
+			c.latenciesM.Unlock()
+			return nil
+		case "failed":
+			c.failed.Add(1)
+			return fmt.Errorf("job %s failed: %s", ack.ID, st.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// retryAfter parses the Retry-After hint, defaulting to a short pause; the
+// wait is capped so a load test never sleeps the full server hint.
+func retryAfter(resp *http.Response) time.Duration {
+	d := 50 * time.Millisecond
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		var secs int
+		if _, err := fmt.Sscanf(h, "%d", &secs); err == nil && secs > 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d > 200*time.Millisecond {
+		d = 200 * time.Millisecond
+	}
+	return d
+}
+
+// report prints the end-of-run summary: throughput, the exact latency
+// quantiles (from the recorded samples, not the bucketed histogram), and
+// the server's cache-hit counters scraped from /metricsz.
+func report(addr string, c *counters, clients int, elapsed time.Duration) {
+	c.latenciesM.Lock()
+	lat := append([]time.Duration(nil), c.latencies...)
+	c.latenciesM.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(lat)-1) + 0.5)
+		return lat[i]
+	}
+
+	fmt.Printf("fleaload: %d clients, %d jobs in %s (%.1f jobs/s)\n",
+		clients, c.completed.Load(), elapsed.Round(time.Millisecond),
+		float64(c.completed.Load())/elapsed.Seconds())
+	fmt.Printf("  submitted %d  completed %d  failed %d  errors %d  backpressure-retries %d  duplicates-issued %d\n",
+		c.submitted.Load(), c.completed.Load(), c.failed.Load(), c.errors.Load(),
+		c.backpress.Load(), c.dupIssued.Load())
+	fmt.Printf("  latency p50 %s  p95 %s  p99 %s  max %s  mean %s\n",
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), c.histogram.Max().Round(time.Microsecond),
+		c.histogram.Mean().Round(time.Microsecond))
+
+	hits, misses, coalesced, ok := scrapeCache(addr)
+	if !ok {
+		fmt.Printf("  server cache: /metricsz unavailable\n")
+		return
+	}
+	total := hits + misses + coalesced
+	rate := 0.0
+	if total > 0 {
+		rate = float64(hits+coalesced) / float64(total) * 100
+	}
+	fmt.Printf("  server cache: %d hits, %d coalesced, %d misses (%.1f%% served without a fresh run)\n",
+		hits, coalesced, misses, rate)
+}
+
+// scrapeCache pulls the cache counters from the server's /metricsz JSON.
+func scrapeCache(addr string) (hits, misses, coalesced int64, ok bool) {
+	resp, err := http.Get(addr + "/metricsz?format=json")
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, 0, 0, false
+	}
+	return body.Counters[service.MetricCacheHits],
+		body.Counters[service.MetricCacheMisses],
+		body.Counters[service.MetricCacheCoalesced], true
+}

@@ -1,0 +1,98 @@
+// Command fleasimd serves the simulator as a long-lived backend: a job
+// manager with a bounded admission queue, a GOMAXPROCS-sized worker pool
+// and a content-addressed result cache, exposed over an HTTP JSON API.
+//
+// Usage:
+//
+//	fleasimd [-addr :8080] [-workers N] [-queue-depth N] [-cache N]
+//	         [-job-timeout 2m] [-max-units N] [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/jobs            submit a run or a server-side-expanded sweep
+//	GET  /v1/jobs/{id}       job status and per-unit results
+//	GET  /v1/jobs/{id}/events  SSE progress stream
+//	GET  /healthz            liveness (503 while draining)
+//	GET  /metricsz           counters, gauges and job-latency quantiles
+//
+// SIGINT/SIGTERM triggers a graceful drain: intake stops, admitted jobs
+// finish (up to -drain-timeout), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fleaflicker/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 256, "bounded admission queue capacity, in units")
+		cacheEntries = flag.Int("cache", 4096, "result-cache capacity, in units (-1 = unbounded)")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "default per-job timeout")
+		maxUnits     = flag.Int("max-units", 1024, "maximum units a single sweep may expand to")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *jobTimeout,
+		MaxUnitsPerJob: *maxUnits,
+	}, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "fleasimd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg service.Config, drainTimeout time.Duration) error {
+	m := service.New(cfg)
+	srv := &http.Server{Addr: addr, Handler: service.NewServer(m)}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("fleasimd: serving on %s", addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("fleasimd: %v, draining (deadline %s)", sig, drainTimeout)
+	}
+
+	// Drain first so /healthz flips to 503 and in-flight jobs finish while
+	// the listener still answers status polls; then close the listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := m.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	log.Printf("fleasimd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,187 @@
+// Service example: run the simulation service in-process, drive it through
+// its HTTP API exactly as a remote client would, and watch the result cache
+// work.
+//
+// The program starts a Manager on a local listener, submits a parameter
+// sweep (two models × three coupling-queue sizes, expanded server-side into
+// six simulation units), follows the job's SSE progress stream, then
+// re-submits one equivalent single run to show it served from cache without
+// a fresh simulation. Finally it prints the service counters and drains.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"fleaflicker/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The service side: a manager plus its HTTP façade on a local port.
+	m := service.New(service.Config{Workers: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.NewServer(m)}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("fleasimd (in-process) serving on %s\n\n", base)
+
+	// 1. Submit a sweep: the grid expands server-side into 6 units.
+	ack, err := submit(base, `{
+		"kind": "sweep",
+		"models": ["base", "2P"],
+		"benches": ["300.twolf"],
+		"sweep": {"cq_sizes": [16, 64, 256]}
+	}`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep accepted: id=%s units=%d\n", ack.ID, ack.TotalUnits)
+
+	// 2. Follow its SSE progress stream to completion.
+	if err := follow(base, ack.Events); err != nil {
+		return err
+	}
+
+	// 3. Fetch the final status and print the per-unit results.
+	st, err := status(base, ack.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%-6s %-10s %-8s %8s %10s\n", "model", "params", "cached", "cycles", "sim ms")
+	for _, u := range st.Units {
+		params := "-"
+		for _, p := range u.Params {
+			params = fmt.Sprintf("%s=%d", p.Name, p.Value)
+		}
+		fmt.Printf("%-6s %-10s %-8v %8d %10.2f\n",
+			u.Model, params, u.Cached, u.Result.Run.Cycles, u.Result.DurationMS)
+	}
+
+	// 4. An equivalent single run: same model, bench and cq_size as one of
+	// the sweep's grid points, so its cache key matches and no simulation
+	// runs.
+	ack2, err := submit(base, `{"model": "2P", "bench": "300.twolf", "config": {"cq_size": 64}}`)
+	if err != nil {
+		return err
+	}
+	st2, err := status(base, ack2.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nre-submitted 2P/cq=64 as a single run: cached=%v (served without a fresh simulation)\n",
+		st2.Units[0].Cached)
+
+	// 5. The service counters, as /metricsz reports them.
+	fmt.Printf("\nservice counters:\n")
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "service.cache.") || strings.HasPrefix(sc.Text(), "service.jobs.latency.p") {
+			fmt.Printf("  %s\n", sc.Text())
+		}
+	}
+
+	// 6. Graceful drain: intake stops, everything admitted finishes.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("\ndrained cleanly\n")
+	return srv.Close()
+}
+
+type ack struct {
+	ID         string `json:"id"`
+	Events     string `json:"events"`
+	TotalUnits int    `json:"total_units"`
+}
+
+func submit(base, body string) (*ack, error) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	var a ack
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// follow prints the job's SSE stream until the terminal "done" frame.
+func follow(base, events string) error {
+	resp, err := http.Get(base + events)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev service.ProgressEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				return err
+			}
+			if ev.State != "" {
+				fmt.Printf("  sse: %s (%d/%d)\n", ev.State, ev.Completed, ev.Total)
+				if event == "done" {
+					return nil
+				}
+				continue
+			}
+			fmt.Printf("  sse: progress %d/%d  unit=%.8s\n", ev.Completed, ev.Total, ev.Key)
+		}
+	}
+	return fmt.Errorf("stream ended without a done frame")
+}
+
+func status(base, id string) (*service.Status, error) {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var st service.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if st.State == "done" || st.State == "failed" {
+			return &st, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

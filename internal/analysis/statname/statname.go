@@ -4,9 +4,9 @@
 // both measurements, and a name that is not a compile-time constant defeats
 // grep, dashboards and the golden-metric tests. The analyzer reports:
 //
-//   - a registration call — (*metrics.Registry).Counter/Gauge or
-//     (*stats.Collector).Counter — whose name argument is not a
-//     compile-time string constant;
+//   - a registration call — (*metrics.Registry).Counter/Gauge/
+//     SharedCounter/SharedGauge or (*stats.Collector).Counter — whose name
+//     argument is not a compile-time string constant;
 //   - two package-level Metric*/Gauge* string constants with the same value
 //     (the canonical-name block in internal/stats is the registry of record,
 //     so a collision there aliases two metrics);
@@ -94,6 +94,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			fn := annotation.CalleeFunc(pass.TypesInfo, call)
 			isReg := annotation.IsMethod(fn, "metrics", "Registry", "Counter") ||
 				annotation.IsMethod(fn, "metrics", "Registry", "Gauge") ||
+				annotation.IsMethod(fn, "metrics", "Registry", "SharedCounter") ||
+				annotation.IsMethod(fn, "metrics", "Registry", "SharedGauge") ||
 				annotation.IsMethod(fn, "stats", "Collector", "Counter")
 			if !isReg || inStats {
 				return true

@@ -19,6 +19,13 @@ func register(reg *metrics.Registry, name string) {
 	reg.Gauge("queue_depth")    // unique literal with no matching constant: fine
 }
 
+func registerShared(reg *metrics.Registry, name string) {
+	reg.SharedCounter(MetricInsts)          // named constant: fine
+	reg.SharedCounter(name)                 // want "metric registration name must be a compile-time string constant"
+	reg.SharedGauge(name)                   // want "metric registration name must be a compile-time string constant"
+	reg.SharedCounter("instructions_total") // want "duplicates the named constant MetricInsts; use the constant"
+}
+
 func registerCol(col *stats.Collector, name string) {
 	col.Counter(name) // want "metric registration name must be a compile-time string constant"
 	col.Counter(MetricInsts)

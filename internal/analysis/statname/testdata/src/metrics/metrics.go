@@ -16,8 +16,10 @@ func (g *Gauge) Set(n int64) { g.v = n }
 
 // Registry holds metrics by name.
 type Registry struct {
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	counters       map[string]*Counter
+	gauges         map[string]*Gauge
+	sharedCounters map[string]*SharedCounter
+	sharedGauges   map[string]*SharedGauge
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -47,4 +49,36 @@ func (r *Registry) CounterValue(name string) (int64, bool) {
 		return 0, false
 	}
 	return c.v, true
+}
+
+// SharedCounter is a concurrency-safe monotonically increasing metric.
+type SharedCounter struct{ v int64 }
+
+// Inc adds one.
+func (c *SharedCounter) Inc() { c.v++ }
+
+// SharedGauge is a concurrency-safe point-in-time metric.
+type SharedGauge struct{ v int64 }
+
+// Set records the current value.
+func (g *SharedGauge) Set(n int64) { g.v = n }
+
+// SharedCounter returns the named shared counter, creating it on first use.
+func (r *Registry) SharedCounter(name string) *SharedCounter {
+	c, ok := r.sharedCounters[name]
+	if !ok {
+		c = &SharedCounter{}
+		r.sharedCounters[name] = c
+	}
+	return c
+}
+
+// SharedGauge returns the named shared gauge, creating it on first use.
+func (r *Registry) SharedGauge(name string) *SharedGauge {
+	g, ok := r.sharedGauges[name]
+	if !ok {
+		g = &SharedGauge{}
+		r.sharedGauges[name] = g
+	}
+	return g
 }

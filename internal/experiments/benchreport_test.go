@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fleaflicker/internal/core"
+)
+
+func TestBuildAndWriteBenchReport(t *testing.T) {
+	rep, err := BuildBenchReport(context.Background(), core.DefaultConfig(),
+		Fig6Models, fastBenches(t), "300.twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Models) != len(Fig6Models) {
+		t.Fatalf("models = %d, want %d", len(rep.Models), len(Fig6Models))
+	}
+	for _, row := range rep.Models {
+		if row.InstrPerSec <= 0 {
+			t.Errorf("%s: instr_per_sec = %v, want > 0", row.Model, row.InstrPerSec)
+		}
+		if row.Instructions <= 0 || row.Cycles <= 0 || row.WallMS <= 0 {
+			t.Errorf("%s: incomplete row %+v", row.Model, row)
+		}
+		// A full simulation allocates its machine; zero would mean the probe
+		// measured nothing.
+		if row.AllocsPerRun == 0 {
+			t.Errorf("%s: allocs_per_run = 0, want > 0", row.Model)
+		}
+	}
+
+	dir := t.TempDir()
+	path, err := WriteBenchReport(rep, dir, "abc1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_abc1234.json" {
+		t.Fatalf("path = %s, want BENCH_abc1234.json", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Revision != "abc1234" || len(back.Models) != len(rep.Models) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

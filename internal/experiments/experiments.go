@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"fleaflicker/internal/arch"
 	"fleaflicker/internal/core"
@@ -28,11 +29,22 @@ type SuiteRuns struct {
 	Config     core.Config
 	Benchmarks []string
 	Runs       map[string]map[core.Model]*stats.Run
+	// Durations holds the wall-clock time each cell's core.Simulate call
+	// took (including reference verification when enabled), so callers such
+	// as the serving layer and fleabench can report real job-latency
+	// numbers instead of discarding them.
+	Durations map[string]map[core.Model]time.Duration
 }
 
 // Get returns the run for one cell; nil if absent.
 func (s *SuiteRuns) Get(bench string, model core.Model) *stats.Run {
 	return s.Runs[bench][model]
+}
+
+// Duration returns the wall-clock simulation time of one cell; zero if the
+// cell is absent.
+func (s *SuiteRuns) Duration(bench string, model core.Model) time.Duration {
+	return s.Durations[bench][model]
 }
 
 // RunSuite simulates every benchmark on every model, in parallel. With
@@ -41,10 +53,15 @@ func (s *SuiteRuns) Get(bench string, model core.Model) *stats.Run {
 // abort at their machines' next cancellation check. Every per-cell failure
 // is reported (joined with errors.Join), not just the first.
 func RunSuite(ctx context.Context, cfg core.Config, models []core.Model, benches []*workload.Benchmark, verified bool) (*SuiteRuns, error) {
-	out := &SuiteRuns{Config: cfg, Runs: make(map[string]map[core.Model]*stats.Run)}
+	out := &SuiteRuns{
+		Config:    cfg,
+		Runs:      make(map[string]map[core.Model]*stats.Run),
+		Durations: make(map[string]map[core.Model]time.Duration),
+	}
 	for _, b := range benches {
 		out.Benchmarks = append(out.Benchmarks, b.Name)
 		out.Runs[b.Name] = make(map[core.Model]*stats.Run)
+		out.Durations[b.Name] = make(map[core.Model]time.Duration)
 	}
 
 	type job struct {
@@ -76,7 +93,9 @@ func RunSuite(ctx context.Context, cfg core.Config, models []core.Model, benches
 			if verified {
 				opts = append(opts, core.WithVerify())
 			}
+			start := time.Now()
 			r, err := core.Simulate(ctx, j.model, j.bench.Program(), opts...)
+			elapsed := time.Since(start)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -84,6 +103,7 @@ func RunSuite(ctx context.Context, cfg core.Config, models []core.Model, benches
 				return
 			}
 			out.Runs[j.bench.Name][j.model] = r
+			out.Durations[j.bench.Name][j.model] = elapsed
 		}(j)
 	}
 	wg.Wait()

@@ -79,6 +79,23 @@ func TestRunSuiteAndRenderers(t *testing.T) {
 	}
 }
 
+func TestRunSuiteExportsDurations(t *testing.T) {
+	s, err := RunSuite(context.Background(), core.DefaultConfig(), Fig6Models, fastBenches(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range s.Benchmarks {
+		for _, m := range Fig6Models {
+			if d := s.Duration(bench, m); d <= 0 {
+				t.Errorf("%s/%v: duration %v, want > 0", bench, m, d)
+			}
+		}
+	}
+	if d := s.Duration("no.such", core.Baseline); d != 0 {
+		t.Errorf("absent cell duration = %v, want 0", d)
+	}
+}
+
 func TestSpeedupSummary(t *testing.T) {
 	s, err := RunSuite(context.Background(), core.DefaultConfig(), Fig6Models, fastBenches(t), false)
 	if err != nil {

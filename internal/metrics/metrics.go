@@ -12,6 +12,12 @@
 // guarded, but handle updates are not synchronized — a registry belongs to
 // one running machine. Parallel simulations (experiments.RunSuite) each use
 // their own registry; share only sinks, never a registry.
+//
+// Multi-goroutine components (the serving layer's worker pool and handlers,
+// see internal/service) instead register SharedCounter/SharedGauge handles,
+// whose updates are atomic. The two families live in one namespace and are
+// enumerated together, so a /metricsz-style dump sees both; a name must not
+// be registered in both families.
 package metrics
 
 import (
@@ -19,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing int64 metric.
@@ -53,18 +60,55 @@ func (g *Gauge) Set(n int64) { g.v = n }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v }
 
+// SharedCounter is a monotonically increasing int64 metric safe for
+// concurrent update from many goroutines. It is the serving-layer
+// counterpart of Counter: one atomic add per increment instead of one plain
+// store, so it never rides a simulator hot path.
+type SharedCounter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *SharedCounter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *SharedCounter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *SharedCounter) Value() int64 { return c.v.Load() }
+
+// SharedGauge is a point-in-time int64 metric safe for concurrent update
+// (e.g. live queue depth observed by many workers).
+type SharedGauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *SharedGauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (occupancy-style gauges increment on entry and
+// decrement on exit).
+func (g *SharedGauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *SharedGauge) Value() int64 { return g.v.Load() }
+
 // Registry holds named counters and gauges.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu             sync.Mutex
+	counters       map[string]*Counter
+	gauges         map[string]*Gauge
+	sharedCounters map[string]*SharedCounter
+	sharedGauges   map[string]*SharedGauge
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		counters:       make(map[string]*Counter),
+		gauges:         make(map[string]*Gauge),
+		sharedCounters: make(map[string]*SharedCounter),
+		sharedGauges:   make(map[string]*SharedGauge),
 	}
 }
 
@@ -93,29 +137,66 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// CounterValue returns the value of a registered counter, or (0, false)
-// when no counter has that name.
+// SharedCounter returns the concurrency-safe counter registered under name,
+// creating it at zero on first use. The returned handle stays valid for the
+// registry's lifetime.
+func (r *Registry) SharedCounter(name string) *SharedCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.sharedCounters[name]
+	if !ok {
+		c = &SharedCounter{}
+		r.sharedCounters[name] = c
+	}
+	return c
+}
+
+// SharedGauge returns the concurrency-safe gauge registered under name,
+// creating it on first use.
+func (r *Registry) SharedGauge(name string) *SharedGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.sharedGauges[name]
+	if !ok {
+		g = &SharedGauge{}
+		r.sharedGauges[name] = g
+	}
+	return g
+}
+
+// CounterValue returns the value of a registered counter — plain or shared —
+// or (0, false) when no counter has that name.
 func (r *Registry) CounterValue(name string) (int64, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		return 0, false
+	if c, ok := r.counters[name]; ok {
+		return c.Value(), true
 	}
-	return c.Value(), true
+	if c, ok := r.sharedCounters[name]; ok {
+		return c.Value(), true
+	}
+	return 0, false
 }
 
-// EachCounter calls fn for every registered counter in sorted name order.
+// EachCounter calls fn for every registered counter — plain and shared — in
+// sorted name order.
 func (r *Registry) EachCounter(fn func(name string, value int64)) {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.counters))
+	names := make([]string, 0, len(r.counters)+len(r.sharedCounters))
 	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.sharedCounters {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	vals := make([]int64, len(names))
 	for i, name := range names {
-		vals[i] = r.counters[name].Value()
+		if c, ok := r.counters[name]; ok {
+			vals[i] = c.Value()
+		} else {
+			vals[i] = r.sharedCounters[name].Value()
+		}
 	}
 	r.mu.Unlock()
 	for i, name := range names {
@@ -123,17 +204,25 @@ func (r *Registry) EachCounter(fn func(name string, value int64)) {
 	}
 }
 
-// EachGauge calls fn for every registered gauge in sorted name order.
+// EachGauge calls fn for every registered gauge — plain and shared — in
+// sorted name order.
 func (r *Registry) EachGauge(fn func(name string, value int64)) {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.gauges))
+	names := make([]string, 0, len(r.gauges)+len(r.sharedGauges))
 	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.sharedGauges {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	vals := make([]int64, len(names))
 	for i, name := range names {
-		vals[i] = r.gauges[name].Value()
+		if g, ok := r.gauges[name]; ok {
+			vals[i] = g.Value()
+		} else {
+			vals[i] = r.sharedGauges[name].Value()
+		}
 	}
 	r.mu.Unlock()
 	for i, name := range names {

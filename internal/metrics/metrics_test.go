@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -68,6 +69,66 @@ func TestDump(t *testing.T) {
 	r.Counter("beta").Add(2)
 	r.Counter("alpha").Add(1)
 	want := "alpha 1\nbeta 2\n"
+	if d := r.Dump(); d != want {
+		t.Errorf("Dump() = %q, want %q", d, want)
+	}
+}
+
+func TestSharedCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.SharedCounter("service.jobs")
+	g := r.SharedGauge("service.depth")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("shared counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("shared gauge = %d, want 0", g.Value())
+	}
+	if again := r.SharedCounter("service.jobs"); again != c {
+		t.Error("SharedCounter should return the same handle for the same name")
+	}
+	if again := r.SharedGauge("service.depth"); again != g {
+		t.Error("SharedGauge should return the same handle for the same name")
+	}
+}
+
+func TestSharedAndPlainEnumerateTogether(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.cycles").Add(7)
+	r.SharedCounter("service.hits").Add(3)
+	var names []string
+	var total int64
+	r.EachCounter(func(name string, v int64) {
+		names = append(names, name)
+		total += v
+	})
+	if strings.Join(names, ",") != "service.hits,sim.cycles" || total != 10 {
+		t.Errorf("EachCounter = %v total %d", names, total)
+	}
+	if v, ok := r.CounterValue("service.hits"); !ok || v != 3 {
+		t.Errorf("CounterValue(service.hits) = %d, %v", v, ok)
+	}
+	r.Gauge("sim.occ").Set(4)
+	r.SharedGauge("service.busy").Set(2)
+	names = names[:0]
+	r.EachGauge(func(name string, v int64) { names = append(names, name) })
+	if strings.Join(names, ",") != "service.busy,sim.occ" {
+		t.Errorf("EachGauge = %v", names)
+	}
+	want := "service.hits 3\nsim.cycles 7\n"
 	if d := r.Dump(); d != want {
 		t.Errorf("Dump() = %q, want %q", d, want)
 	}

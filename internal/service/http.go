@@ -1,0 +1,230 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds a submission body; a full sweep grid spec is tiny.
+const maxBodyBytes = 1 << 20
+
+// Server is the HTTP façade over a Manager:
+//
+//	POST /v1/jobs            submit a run or sweep; 202 with the job id
+//	GET  /v1/jobs/{id}       status + per-unit stats payload
+//	GET  /v1/jobs/{id}/events  SSE progress stream
+//	GET  /healthz            liveness (503 while draining)
+//	GET  /metricsz           metrics registry + job-latency quantiles
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+// submitResponse acknowledges an admitted job.
+type submitResponse struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Location    string `json:"location"`
+	Events      string `json:"events"`
+	TotalUnits  int    `json:"total_units"`
+	CachedUnits int    `json:"cached_units"`
+}
+
+// handleSubmit admits one job.
+//
+//flea:coldpath admission control; never on the simulation hot path.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		return
+	}
+	job, err := s.m.Submit(spec)
+	if err != nil {
+		var qf *QueueFullError
+		switch {
+		case errors.As(err, &qf):
+			secs := int(qf.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfter: secs})
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), RetryAfter: 5})
+		case errors.Is(err, ErrInvalidSpec):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	loc := "/v1/jobs/" + job.ID()
+	w.Header().Set("Location", loc)
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:          job.ID(),
+		State:       job.State().String(),
+		Location:    loc,
+		Events:      loc + "/events",
+		TotalUnits:  len(job.units),
+		CachedUnits: job.CachedUnits(),
+	})
+}
+
+// handleJob reports one job's status and (as units finish) results.
+//
+//flea:coldpath reporting; reads immutable completed entries.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleEvents streams job progress as server-sent events: one "progress"
+// frame per finished unit and a terminal "done" frame carrying the final
+// state. A fresh subscriber first receives a snapshot frame.
+//
+//flea:coldpath observation only.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, snapshot, cancel := job.subscribe()
+	defer cancel()
+	writeSSE(w, "progress", snapshot)
+	if snapshot.State != "" {
+		// Already terminal: replay the final frame and finish.
+		writeSSE(w, "done", snapshot)
+		flusher.Flush()
+		return
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev := <-ch:
+			if ev.State != "" {
+				writeSSE(w, "done", ev)
+				flusher.Flush()
+				return
+			}
+			writeSSE(w, "progress", ev)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one SSE frame.
+func writeSSE(w io.Writer, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// handleHealth is the load-balancer liveness probe: 200 while serving, 503
+// once draining.
+//
+//flea:coldpath liveness only.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.m.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "uptime_ms": float64(s.m.Uptime()) / float64(time.Millisecond),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "uptime_ms": float64(s.m.Uptime()) / float64(time.Millisecond),
+	})
+}
+
+// handleMetrics renders the service registry plus the job-latency
+// quantiles: plain "name value" lines by default, a structured object with
+// ?format=json.
+//
+//flea:coldpath observation only.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	h := s.m.Latency()
+	quantiles := map[string]float64{
+		MetricJobLatencyP50:  float64(h.Quantile(0.50)) / float64(time.Millisecond),
+		MetricJobLatencyP95:  float64(h.Quantile(0.95)) / float64(time.Millisecond),
+		MetricJobLatencyP99:  float64(h.Quantile(0.99)) / float64(time.Millisecond),
+		MetricJobLatencyMax:  float64(h.Max()) / float64(time.Millisecond),
+		MetricJobLatencyMean: float64(h.Mean()) / float64(time.Millisecond),
+	}
+	if r.URL.Query().Get("format") == "json" {
+		counters := map[string]int64{}
+		gauges := map[string]int64{}
+		s.m.Registry().EachCounter(func(name string, v int64) { counters[name] = v })
+		s.m.Registry().EachGauge(func(name string, v int64) { gauges[name] = v })
+		writeJSON(w, http.StatusOK, map[string]any{
+			"counters":        counters,
+			"gauges":          gauges,
+			"latency_ms":      quantiles,
+			"latency_samples": h.Count(),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.m.Registry().EachCounter(func(name string, v int64) { fmt.Fprintf(w, "%s %d\n", name, v) })
+	s.m.Registry().EachGauge(func(name string, v int64) { fmt.Fprintf(w, "%s %d\n", name, v) })
+	for _, name := range []string{MetricJobLatencyP50, MetricJobLatencyP95, MetricJobLatencyP99,
+		MetricJobLatencyMax, MetricJobLatencyMean} {
+		fmt.Fprintf(w, "%s %.3f\n", name, quantiles[name])
+	}
+}

@@ -1,0 +1,75 @@
+package service
+
+import "fleaflicker/internal/metrics"
+
+// Canonical service metric names. Every counter the serving layer bumps is
+// registered under one of these constants (statname enforces uniqueness and
+// constant registration), in the same registry /metricsz renders.
+const (
+	MetricJobsSubmitted  = "service.jobs.submitted"
+	MetricJobsCompleted  = "service.jobs.completed"
+	MetricJobsFailed     = "service.jobs.failed"
+	MetricJobsRejected   = "service.jobs.rejected"
+	MetricUnitsExecuted  = "service.units.executed"
+	MetricUnitErrors     = "service.units.errors"
+	MetricCacheHits      = "service.cache.hits"
+	MetricCacheMisses    = "service.cache.misses"
+	MetricCacheCoalesced = "service.cache.coalesced"
+	MetricCacheEvictions = "service.cache.evictions"
+	GaugeQueueDepth      = "service.queue.depth"
+	GaugeWorkersBusy     = "service.workers.busy"
+	GaugeJobsActive      = "service.jobs.active"
+	GaugeCacheEntries    = "service.cache.entries"
+)
+
+// Derived latency metric names rendered by /metricsz (quantiles over the
+// job-latency histogram; not registry counters).
+const (
+	MetricJobLatencyP50  = "service.jobs.latency.p50_ms"
+	MetricJobLatencyP95  = "service.jobs.latency.p95_ms"
+	MetricJobLatencyP99  = "service.jobs.latency.p99_ms"
+	MetricJobLatencyMax  = "service.jobs.latency.max_ms"
+	MetricJobLatencyMean = "service.jobs.latency.mean_ms"
+)
+
+// serviceMetrics holds pre-resolved handles into the manager's registry —
+// shared (atomic) variants, because the worker pool, the submission path and
+// the HTTP handlers all bump them concurrently.
+type serviceMetrics struct {
+	jobsSubmitted *metrics.SharedCounter
+	jobsCompleted *metrics.SharedCounter
+	jobsFailed    *metrics.SharedCounter
+	jobsRejected  *metrics.SharedCounter
+
+	unitsExecuted *metrics.SharedCounter
+	unitErrors    *metrics.SharedCounter
+
+	cacheHits      *metrics.SharedCounter
+	cacheMisses    *metrics.SharedCounter
+	cacheCoalesced *metrics.SharedCounter
+	cacheEvictions *metrics.SharedCounter
+
+	queueDepth   *metrics.SharedGauge
+	workersBusy  *metrics.SharedGauge
+	jobsActive   *metrics.SharedGauge
+	cacheEntries *metrics.SharedGauge
+}
+
+func newServiceMetrics(reg *metrics.Registry) *serviceMetrics {
+	return &serviceMetrics{
+		jobsSubmitted:  reg.SharedCounter(MetricJobsSubmitted),
+		jobsCompleted:  reg.SharedCounter(MetricJobsCompleted),
+		jobsFailed:     reg.SharedCounter(MetricJobsFailed),
+		jobsRejected:   reg.SharedCounter(MetricJobsRejected),
+		unitsExecuted:  reg.SharedCounter(MetricUnitsExecuted),
+		unitErrors:     reg.SharedCounter(MetricUnitErrors),
+		cacheHits:      reg.SharedCounter(MetricCacheHits),
+		cacheMisses:    reg.SharedCounter(MetricCacheMisses),
+		cacheCoalesced: reg.SharedCounter(MetricCacheCoalesced),
+		cacheEvictions: reg.SharedCounter(MetricCacheEvictions),
+		queueDepth:     reg.SharedGauge(GaugeQueueDepth),
+		workersBusy:    reg.SharedGauge(GaugeWorkersBusy),
+		jobsActive:     reg.SharedGauge(GaugeJobsActive),
+		cacheEntries:   reg.SharedGauge(GaugeCacheEntries),
+	}
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"fleaflicker/internal/metrics"
+)
+
+// task is one queued simulation: the resolved unit, the cache entry it
+// completes, and the context of the job that claimed it (per-job timeout
+// and cancellation propagate into the machine's cycle loop through it).
+type task struct {
+	spec  UnitSpec
+	entry *entry
+	ctx   context.Context
+}
+
+// taskQueue is the bounded admission queue between submissions and the
+// worker pool. Admission is all-or-nothing per submission, which is what
+// gives the service its backpressure contract: a job either gets every
+// fresh unit admitted or is rejected whole with retry-after.
+type taskQueue struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	items    []*task
+	capacity int
+	closed   bool
+	depth    *metrics.SharedGauge
+}
+
+func newTaskQueue(capacity int, depth *metrics.SharedGauge) *taskQueue {
+	q := &taskQueue{capacity: capacity, depth: depth}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// tryPutAll admits every task or none: it fails when the queue lacks room
+// for the whole batch or intake is closed (draining).
+func (q *taskQueue) tryPutAll(ts []*task) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items)+len(ts) > q.capacity {
+		return false
+	}
+	q.items = append(q.items, ts...)
+	q.depth.Set(int64(len(q.items)))
+	q.nonEmpty.Broadcast()
+	return true
+}
+
+// get blocks until a task is available or the queue is closed AND drained;
+// the second return is false only in the latter case, so closing the queue
+// lets workers finish everything already admitted before they exit.
+func (q *taskQueue) get() (*task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	t := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	if len(q.items) == 0 {
+		// Reset so the drained backing array is reclaimed instead of
+		// creeping forward forever.
+		q.items = nil
+	}
+	q.depth.Set(int64(len(q.items)))
+	return t, true
+}
+
+// close stops intake; queued tasks still drain through get.
+func (q *taskQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nonEmpty.Broadcast()
+}
+
+// depthNow returns the current number of queued tasks.
+func (q *taskQueue) depthNow() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
