@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench bench-smoke race-service
+.PHONY: ci vet lint build test race bench bench-smoke race-service fuzz-smoke fuzz
 
-ci: vet lint build race bench-smoke
+ci: vet lint build race bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,3 +41,16 @@ bench:
 bench-smoke:
 	$(GO) test -run='^TestSteadyStateAllocationFree$$' ./internal/core/
 	$(GO) test -bench=BenchmarkSimSpeed -benchtime=1x -run=^$$ .
+
+# fuzz-smoke is the differential-correctness gate: a small seeded campaign
+# of generated EPIC programs run across the smoke lattice (every model, one
+# config each) and diffed against the functional reference. Deterministic —
+# same seed, same verdict — and sized to finish well under 30 seconds.
+fuzz-smoke:
+	$(GO) run ./cmd/fleafuzz -smoke -programs 2000 -seed 1 -quiet
+
+# fuzz is the long-form campaign used nightly: the full config lattice
+# (CQ sizes x feedback latencies x regroup on/off), shrunk reproducers
+# written to fuzz-corpus/ for triage.
+fuzz:
+	$(GO) run ./cmd/fleafuzz -programs 10000 -seed 1 -corpus fuzz-corpus

@@ -8,9 +8,14 @@
 //	        [-feedback N] [-cq N] [-alat N] [-throttle N] [-anticipable]
 //	        [-trace FILE.json] [-jsonl FILE.jsonl]
 //	        (-bench NAME | -random SEED | FILE.s)
+//	fleasim -repro FILE.flea
 //
 // -trace writes a Chrome trace_event file (open in about:tracing or
 // Perfetto); -jsonl writes one trace event per line as JSON.
+//
+// -repro replays a .flea reproducer (written by fleafuzz) on every machine
+// model at the configured two-pass parameters and prints each model's
+// architectural-state diff against the reference executor.
 package main
 
 import (
@@ -46,6 +51,7 @@ func main() {
 		conflictPred = flag.Bool("conflictpred", false, "two-pass: store-wait conflict predictor (§3.4)")
 		chromeOut    = flag.String("trace", "", "write a Chrome trace_event file (about:tracing/Perfetto)")
 		jsonlOut     = flag.String("jsonl", "", "write the event stream as JSON lines")
+		reproFile    = flag.String("repro", "", "replay a .flea reproducer on every model and diff against the reference")
 	)
 	flag.Parse()
 
@@ -63,11 +69,6 @@ func main() {
 		fatal(fmt.Errorf("unknown model %q", *modelName))
 	}
 
-	prog, err := loadProgram(*benchName, *randomSeed, flag.Args(), *doSched)
-	if err != nil {
-		fatal(err)
-	}
-
 	cfg := core.DefaultConfig()
 	cfg.FeedbackLatency = *feedback
 	cfg.CQSize = *cqSize
@@ -80,6 +81,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *reproFile != "" {
+		os.Exit(replayRepro(ctx, *reproFile, cfg))
+	}
+
+	prog, err := loadProgram(*benchName, *randomSeed, flag.Args(), *doSched)
+	if err != nil {
+		fatal(err)
+	}
 
 	opts := []core.Option{core.WithConfig(cfg)}
 	if *verify {
@@ -118,6 +128,40 @@ func main() {
 	if *verify {
 		fmt.Println("verified: architectural state matches the reference executor")
 	}
+}
+
+// replayRepro runs a .flea reproducer on every machine model at the
+// flag-configured two-pass parameters, printing each model's verdict and,
+// on divergence, the structured architectural-state diff (which registers
+// and memory words differ, and where the committed-store order split).
+func replayRepro(ctx context.Context, path string, cfg core.Config) int {
+	prog, err := program.LoadFlea(path)
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := core.ComputeReference(prog, cfg.MaxCycles)
+	if err != nil {
+		fatal(fmt.Errorf("reference executor could not run %s: %w", path, err))
+	}
+	fmt.Printf("%s: %d instructions, %d dynamic (reference)\n",
+		path, len(prog.Insts), ref.Result.Instructions)
+	var log mem.StoreLog
+	diverged := false
+	for _, model := range core.Models() {
+		_, err := core.Simulate(ctx, model, prog,
+			core.WithConfig(cfg), core.WithReference(ref), core.WithStoreLog(&log))
+		if err == nil {
+			fmt.Printf("  %-9v ok\n", model)
+			continue
+		}
+		diverged = true
+		fmt.Printf("  %-9v DIVERGED\n    %v\n", model, err)
+	}
+	if diverged {
+		return 1
+	}
+	fmt.Println("all models agree with the reference executor")
+	return 0
 }
 
 func loadProgram(bench string, seed int64, args []string, reschedule bool) (*program.Program, error) {

@@ -9,7 +9,9 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs            submit a run or a server-side-expanded sweep
+//	POST /v1/jobs            submit a run, a server-side-expanded sweep, or
+//	                         a differential fuzzing campaign (kind "fuzz",
+//	                         chunked into one unit per seed range)
 //	GET  /v1/jobs/{id}       job status and per-unit results
 //	GET  /v1/jobs/{id}/events  SSE progress stream
 //	GET  /healthz            liveness (503 while draining)

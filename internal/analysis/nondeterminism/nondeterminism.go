@@ -37,6 +37,12 @@ var simulationPackages = []string{
 	"internal/core",
 	"internal/mem",
 	"internal/stats",
+	// The fuzzing subsystem is part of the determinism contract too: a
+	// campaign verdict and every generated program must be a pure function
+	// of (seed, config), or corpus seeds and shrunk reproducers lose their
+	// meaning.
+	"internal/progen",
+	"internal/diffsim",
 }
 
 // constructors are the math/rand package-level functions that build an

@@ -56,6 +56,38 @@ func (s *State) Equal(o *State) bool {
 	return s.Mem.Equal(o.Mem)
 }
 
+// RegDiff is one diverged register: the state under test read Got where the
+// reference holds Want.
+type RegDiff struct {
+	Reg  isa.Reg
+	Got  isa.Value
+	Want isa.Value
+}
+
+// MemDiff is one diverged memory byte.
+type MemDiff struct {
+	Addr uint32
+	Got  byte
+	Want byte
+}
+
+// CompareStates enumerates up to max register and max memory-byte
+// differences between a state under test and the reference state, in
+// register-number and ascending-address order. Both slices empty means the
+// states agree architecturally.
+func CompareStates(got, want *State, max int) (regs []RegDiff, bytes []MemDiff) {
+	for r := 0; r < isa.NumRegs && len(regs) < max; r++ {
+		reg := isa.Reg(r)
+		if !reg.Hardwired() && got.Regs[r] != want.Regs[r] {
+			regs = append(regs, RegDiff{Reg: reg, Got: got.Regs[r], Want: want.Regs[r]})
+		}
+	}
+	for _, addr := range got.Mem.Differences(want.Mem, max) {
+		bytes = append(bytes, MemDiff{Addr: addr, Got: got.Mem.Byte(addr), Want: want.Mem.Byte(addr)})
+	}
+	return regs, bytes
+}
+
 // Diff describes the first difference between two states, for test failure
 // messages. It returns "" when the states are equal.
 func (s *State) Diff(o *State) string {
@@ -109,6 +141,13 @@ func (e *Executor) PC() int32 { return e.pc }
 
 // State exposes the live architectural state.
 func (e *Executor) State() *State { return e.state }
+
+// Result returns a snapshot of the execution's result so far (final once
+// Halted).
+func (e *Executor) Result() *Result {
+	r := e.res
+	return &r
+}
 
 // Step executes one instruction. It is a no-op once halted.
 func (e *Executor) Step() error {

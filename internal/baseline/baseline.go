@@ -35,6 +35,9 @@ type Config struct {
 	FUs        [isa.NumFUClasses]int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
+	// Arena, when non-nil, supplies the machine's DynInst storage so
+	// back-to-back simulations reuse records (see pipeline.NewFrontEnd).
+	Arena *pipeline.Arena `json:"-"`
 }
 
 // DefaultConfig returns the Table 1 machine.
@@ -87,7 +90,7 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 	m := &Machine{
 		cfg:  cfg,
 		prog: prog,
-		fe:   pipeline.NewFrontEnd(cfg.Front, prog, hier, bpred.New(cfg.Bpred)),
+		fe:   pipeline.NewFrontEnd(cfg.Front, prog, hier, bpred.New(cfg.Bpred), cfg.Arena),
 		hier: hier,
 		st:   arch.NewState(prog.InitialImage()),
 	}

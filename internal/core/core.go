@@ -86,6 +86,13 @@ type Config struct {
 	RunaheadMinStall    int
 
 	MaxCycles int64
+
+	// Arena, when non-nil, supplies the machine's DynInst storage so
+	// repeated simulations (the differential fuzzer's inner loop) reuse
+	// records instead of growing fresh slabs per program. Excluded from
+	// serialization: it is an execution resource, not a machine parameter,
+	// so configs that differ only here are the same cache key.
+	Arena *pipeline.Arena `json:"-"`
 }
 
 // DefaultConfig returns the Table 1 machine.
@@ -109,6 +116,7 @@ func (c Config) BaselineConfig() baseline.Config {
 	return baseline.Config{
 		Front: c.Front, Mem: c.Mem, Bpred: c.Bpred,
 		IssueWidth: c.IssueWidth, FUs: c.FUs, MaxCycles: c.MaxCycles,
+		Arena: c.Arena,
 	}
 }
 
@@ -123,6 +131,7 @@ func (c Config) TwoPassConfig(regroup bool) twopass.Config {
 		SBSize: c.SBSize, ConflictPredictor: c.ConflictPredictor,
 		CheckpointRepair: c.CheckpointRepair,
 		MaxCycles:        c.MaxCycles,
+		Arena:            c.Arena,
 	}
 }
 
@@ -133,6 +142,7 @@ func (c Config) RunaheadConfig() runahead.Config {
 		IssueWidth: c.IssueWidth, FUs: c.FUs,
 		ExitPenalty: c.RunaheadExitPenalty, MinStallCycles: c.RunaheadMinStall,
 		MaxCycles: c.MaxCycles,
+		Arena:     c.Arena,
 	}
 }
 

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fleaflicker/internal/arch"
+	"fleaflicker/internal/mem"
+)
+
+// maxDivergenceDiffs bounds how many register/memory differences one
+// DivergenceError enumerates; beyond it the report just notes truncation.
+const maxDivergenceDiffs = 8
+
+// StoreDivergence describes a committed-store-order mismatch between a
+// machine and the reference executor.
+type StoreDivergence struct {
+	// Index is the position of the first differing commit, -1 when the
+	// difference lies beyond the logs' retained prefixes.
+	Index int64
+	// Got/Want are the commits at Index; ok-flags are false when the
+	// position fell outside the retained prefix or past the shorter log.
+	Got, Want     mem.StoreCommit
+	GotOK, WantOK bool
+	// GotLen/WantLen are the total commit counts of the two runs.
+	GotLen, WantLen int64
+}
+
+func (s *StoreDivergence) String() string {
+	if s.Index < 0 {
+		return fmt.Sprintf("store order differs past the retained prefix (%d vs %d commits)", s.GotLen, s.WantLen)
+	}
+	render := func(c mem.StoreCommit, ok bool) string {
+		if !ok {
+			return "<no commit>"
+		}
+		return fmt.Sprintf("st%d [%#x] = %#x", c.Size, c.Addr, c.Val)
+	}
+	return fmt.Sprintf("store commit %d: %s vs %s (%d vs %d commits)",
+		s.Index, render(s.Got, s.GotOK), render(s.Want, s.WantOK), s.GotLen, s.WantLen)
+}
+
+// DivergenceError reports that a machine's final architectural state
+// diverged from the functional reference executor: the repository's golden
+// correctness invariant was violated. It enumerates which registers and
+// memory bytes differ (machine value first, reference second) so tests, the
+// differential fuzzer and the -repro tools can report and minimize failures
+// without parsing error strings.
+type DivergenceError struct {
+	Model   Model
+	Program string
+	// Regs and Mem list up to maxDivergenceDiffs differences each.
+	Regs []arch.RegDiff
+	Mem  []arch.MemDiff
+	// GotInsts/WantInsts differ when the machine retired a different
+	// dynamic instruction count than the reference (zero/zero when the
+	// counts agree or were not compared).
+	GotInsts, WantInsts int64
+	// Stores is set when the committed-store order diverged.
+	Stores *StoreDivergence
+}
+
+func (e *DivergenceError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %v machine diverged from the reference executor on %q:", e.Model, e.Program)
+	for _, d := range e.Regs {
+		fmt.Fprintf(&b, " register %s: %#x vs %#x;", d.Reg, d.Got, d.Want)
+	}
+	if len(e.Regs) == maxDivergenceDiffs {
+		b.WriteString(" ...;")
+	}
+	for _, d := range e.Mem {
+		fmt.Fprintf(&b, " memory at %#x: %#x vs %#x;", d.Addr, d.Got, d.Want)
+	}
+	if len(e.Mem) == maxDivergenceDiffs {
+		b.WriteString(" ...;")
+	}
+	if e.GotInsts != e.WantInsts {
+		fmt.Fprintf(&b, " retired %d instructions, reference retired %d;", e.GotInsts, e.WantInsts)
+	}
+	if e.Stores != nil {
+		fmt.Fprintf(&b, " %s;", e.Stores)
+	}
+	return strings.TrimSuffix(b.String(), ";")
+}
+
+// diverged builds the DivergenceError for a finished run, or nil when the
+// machine matched the reference. storeLog/refLog may both be nil (store
+// order not captured).
+func diverged(model Model, progName string, st *arch.State, insts int64, ref *arch.Result, storeLog, refLog *mem.StoreLog) *DivergenceError {
+	regs, bytes := arch.CompareStates(st, ref.State, maxDivergenceDiffs)
+	e := &DivergenceError{Model: model, Program: progName, Regs: regs, Mem: bytes}
+	if insts != ref.Instructions {
+		e.GotInsts, e.WantInsts = insts, ref.Instructions
+	}
+	if storeLog != nil && refLog != nil {
+		if idx, bad := storeLog.FirstDivergence(refLog); bad {
+			sd := &StoreDivergence{Index: idx, GotLen: storeLog.Len(), WantLen: refLog.Len()}
+			sd.Got, sd.GotOK = storeLog.At(idx)
+			sd.Want, sd.WantOK = refLog.At(idx)
+			e.Stores = sd
+		}
+	}
+	if len(e.Regs) == 0 && len(e.Mem) == 0 && e.GotInsts == e.WantInsts && e.Stores == nil {
+		return nil
+	}
+	return e
+}

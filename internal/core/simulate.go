@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"fleaflicker/internal/arch"
+	"fleaflicker/internal/mem"
 	"fleaflicker/internal/metrics"
 	"fleaflicker/internal/program"
 	"fleaflicker/internal/stats"
@@ -16,11 +17,13 @@ import (
 type Option func(*options)
 
 type options struct {
-	cfg     Config
-	verify  bool
-	sink    trace.Sink
-	reg     *metrics.Registry
-	closeMu bool // close the sink when Simulate returns
+	cfg      Config
+	verify   bool
+	ref      *Reference
+	storeLog *mem.StoreLog
+	sink     trace.Sink
+	reg      *metrics.Registry
+	closeMu  bool // close the sink when Simulate returns
 }
 
 // WithConfig replaces the default (Table 1) machine configuration.
@@ -30,9 +33,56 @@ func WithConfig(cfg Config) Option {
 
 // WithVerify checks the machine's final architectural state against the
 // functional reference executor — the repository's golden correctness
-// invariant — and fails the simulation on any divergence.
+// invariant — and fails the simulation with a *DivergenceError on any
+// divergence.
 func WithVerify() Option {
 	return func(o *options) { o.verify = true }
+}
+
+// Reference is a functional reference execution against which a simulation
+// can be verified: the executor's result plus (optionally) its committed-
+// store log. Compute it once with ComputeReference and share it across the
+// many Simulate calls of a differential sweep instead of paying a fresh
+// reference execution per call.
+type Reference struct {
+	Result *arch.Result
+	// Stores is the reference committed-store sequence; nil when not
+	// captured (store order then goes unchecked).
+	Stores *mem.StoreLog
+}
+
+// ComputeReference runs the functional reference executor over prog,
+// capturing the committed-store log alongside the final state.
+func ComputeReference(prog *program.Program, maxSteps int64) (*Reference, error) {
+	e := arch.NewExecutor(prog)
+	var log mem.StoreLog
+	e.State().Mem.Observe(log.Record)
+	var steps int64
+	for !e.Halted() {
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("core: reference: program %q exceeded %d instructions without halting",
+				prog.Name, maxSteps)
+		}
+		if err := e.Step(); err != nil {
+			return nil, fmt.Errorf("core: reference execution: %w", err)
+		}
+		steps++
+	}
+	e.State().Mem.Observe(nil)
+	return &Reference{Result: e.Result(), Stores: &log}, nil
+}
+
+// WithReference verifies the simulation against a precomputed reference
+// (implying WithVerify) instead of re-running the functional executor.
+func WithReference(ref *Reference) Option {
+	return func(o *options) { o.verify = true; o.ref = ref }
+}
+
+// WithStoreLog records the machine's committed-store sequence into log
+// (which is Reset first). Combined with a Reference whose store log was
+// captured, verification additionally checks committed-store order.
+func WithStoreLog(log *mem.StoreLog) Option {
+	return func(o *options) { o.storeLog = log }
 }
 
 // WithTrace streams cycle-level events into sink for the duration of the
@@ -63,11 +113,11 @@ func Simulate(ctx context.Context, model Model, prog *program.Program, opts ...O
 		opt(&o)
 	}
 
-	var ref *arch.Result
-	if o.verify {
-		r, err := arch.Run(prog, o.cfg.MaxCycles)
+	ref := o.ref
+	if o.verify && ref == nil {
+		r, err := ComputeReference(prog, o.cfg.MaxCycles)
 		if err != nil {
-			return nil, fmt.Errorf("core: reference execution: %w", err)
+			return nil, err
 		}
 		ref = r
 	}
@@ -79,6 +129,10 @@ func Simulate(ctx context.Context, model Model, prog *program.Program, opts ...O
 	var tr *trace.Tracer
 	if o.sink != nil {
 		tr = trace.New(o.sink)
+	}
+	if o.storeLog != nil {
+		o.storeLog.Reset()
+		m.State().Mem.Observe(o.storeLog.Record)
 	}
 	m.Attach(ctx, o.reg, tr)
 
@@ -93,13 +147,8 @@ func Simulate(ctx context.Context, model Model, prog *program.Program, opts ...O
 	}
 
 	if o.verify {
-		if !m.State().Equal(ref.State) {
-			return nil, fmt.Errorf("core: %v machine diverged from the reference executor on %q: %s",
-				model, prog.Name, m.State().Diff(ref.State))
-		}
-		if r.Instructions != ref.Instructions {
-			return nil, fmt.Errorf("core: %v retired %d instructions, reference retired %d",
-				model, r.Instructions, ref.Instructions)
+		if e := diverged(model, prog.Name, m.State(), r.Instructions, ref.Result, o.storeLog, ref.Stores); e != nil {
+			return nil, e
 		}
 	}
 	return r, nil

@@ -1,0 +1,124 @@
+package diffsim
+
+import (
+	"context"
+	"fmt"
+
+	"fleaflicker/internal/progen"
+	"fleaflicker/internal/program"
+)
+
+// CampaignConfig drives RunCampaign. A campaign is a pure function of this
+// struct: the same config replays the same programs in the same order and
+// reaches the same verdicts (wall-clock budgets are imposed by callers
+// through ctx).
+type CampaignConfig struct {
+	// SeedBase is the first generator seed; program i uses SeedBase+i.
+	SeedBase int64
+	// Programs is the number of programs to generate and check.
+	Programs int
+	// Gen shapes the generated programs; the zero value means
+	// progen.DefaultConfig.
+	Gen progen.Config
+	// Cells is the configuration lattice; nil means DefaultLattice.
+	Cells []Cell
+	// Shrink minimizes each diverging program into a reproducer.
+	Shrink bool
+	// MaxFindings stops the campaign early after this many diverging
+	// programs (0 = keep going).
+	MaxFindings int
+	// Runner overrides the production simulation runner (test seam).
+	Runner Runner
+	// OnProgram, when non-nil, observes progress after each program.
+	OnProgram func(done int, st *CampaignStats)
+}
+
+// Finding is one diverging program: the generator seed that produced it,
+// the cells that disagreed, and (when shrinking is on) the minimized
+// reproducer.
+type Finding struct {
+	Seed        int64
+	Program     *program.Program
+	Minimized   *program.Program // nil unless CampaignConfig.Shrink
+	Divergences []Divergence
+}
+
+func (f *Finding) String() string {
+	min := ""
+	if f.Minimized != nil {
+		min = fmt.Sprintf(", minimized to %d instructions", len(f.Minimized.Insts))
+	}
+	return fmt.Sprintf("seed %d: %d cells diverged%s", f.Seed, len(f.Divergences), min)
+}
+
+// CampaignStats aggregates one campaign.
+type CampaignStats struct {
+	// Programs is the number checked to a verdict; Skipped counts programs
+	// the reference executor could not finish within budget (none of those
+	// count toward agreement).
+	Programs int
+	Skipped  int
+	// CellRuns is the total number of machine simulations performed;
+	// RefInstructions the total dynamic instructions of the reference
+	// executions (the campaign's work metric).
+	CellRuns        int64
+	RefInstructions int64
+	Findings        []*Finding
+}
+
+// RunCampaign generates cfg.Programs seeded programs and checks each one
+// across the lattice, shrinking divergences into minimal reproducers. The
+// returned stats are valid (covering the work done so far) even when the
+// error is non-nil: a cancelled campaign reports what it saw.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignStats, error) {
+	gen := cfg.Gen
+	if gen == (progen.Config{}) {
+		gen = progen.DefaultConfig()
+	}
+	cells := cfg.Cells
+	if cells == nil {
+		cells = DefaultLattice()
+	}
+	var copts []CheckerOption
+	if cfg.Runner != nil {
+		copts = append(copts, WithRunner(cfg.Runner))
+	}
+	checker := NewChecker(cells, copts...)
+
+	st := &CampaignStats{}
+	for i := 0; i < cfg.Programs; i++ {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		seed := cfg.SeedBase + int64(i)
+		prog := progen.Generate(seed, gen)
+		res, err := checker.Check(ctx, prog)
+		if err != nil {
+			return st, err
+		}
+		if res.RefErr != nil {
+			st.Skipped++
+		} else {
+			st.Programs++
+			st.CellRuns += int64(len(cells))
+			st.RefInstructions += res.RefInstructions
+		}
+		if len(res.Divergences) > 0 {
+			f := &Finding{Seed: seed, Program: prog, Divergences: res.Divergences}
+			if cfg.Shrink {
+				f.Minimized = checker.ShrinkDiverging(ctx, prog)
+			}
+			st.Findings = append(st.Findings, f)
+			if cfg.MaxFindings > 0 && len(st.Findings) >= cfg.MaxFindings {
+				if cfg.OnProgram != nil {
+					cfg.OnProgram(i+1, st)
+				}
+				return st, nil
+			}
+		}
+		if cfg.OnProgram != nil {
+			cfg.OnProgram(i+1, st)
+		}
+	}
+	return st, nil
+}

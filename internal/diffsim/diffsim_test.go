@@ -1,0 +1,210 @@
+package diffsim
+
+import (
+	"context"
+	"testing"
+
+	"fleaflicker/internal/arch"
+	"fleaflicker/internal/core"
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/mem"
+	"fleaflicker/internal/progen"
+	"fleaflicker/internal/program"
+)
+
+func TestDefaultLatticeShape(t *testing.T) {
+	cells := DefaultLattice()
+	if len(cells) != 14 {
+		t.Fatalf("DefaultLattice has %d cells, want 14", len(cells))
+	}
+	models := map[core.Model]int{}
+	for _, c := range cells {
+		models[c.Model]++
+	}
+	if models[core.Baseline] != 1 || models[core.Runahead] != 1 ||
+		models[core.TwoPass] != 6 || models[core.TwoPassRegroup] != 6 {
+		t.Fatalf("unexpected model distribution: %v", models)
+	}
+}
+
+func TestModelsAgreeOnGeneratedPrograms(t *testing.T) {
+	cfg := progen.DefaultConfig()
+	cfg.OuterTrips = 3
+	cfg.BodyActions = 14
+	cfg.ArrayBytes = 4 << 10
+	checker := NewChecker(DefaultLattice())
+	for seed := int64(0); seed < 10; seed++ {
+		p := progen.Generate(seed, cfg)
+		res, err := checker.Check(context.Background(), p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.RefErr != nil {
+			t.Fatalf("seed %d: reference failed: %v", seed, res.RefErr)
+		}
+		for _, d := range res.Divergences {
+			t.Errorf("seed %d, cell %v: %v", seed, d.Cell, d)
+		}
+	}
+}
+
+// loadFeedsXor reports whether the program contains a load whose result is
+// later read by an xor — the trigger pattern for the injected merge bug.
+func loadFeedsXor(p *program.Program) bool {
+	for i, ld := range p.Insts {
+		if !ld.Op.IsLoad() || !ld.HasDest() {
+			continue
+		}
+		for _, in := range p.Insts[i+1:] {
+			if in.Op == isa.OpXor && (in.Src1 == ld.Dst || in.Src2 == ld.Dst) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mergeBugRunner wraps the production runner with an intentionally injected
+// CQ merge bug: on the two-pass machines, any program where a load's result
+// feeds an xor "merges" a stale value into the consumer's destination. The
+// fault lives at the Runner seam so production machine code stays correct;
+// what the test proves is that the checker catches the bug and the shrinker
+// strips a full random program down to the minimal load→xor reproducer.
+func mergeBugRunner(ctx context.Context, cell Cell, cfg core.Config, prog *program.Program, ref *core.Reference, log *mem.StoreLog) error {
+	if (cell.Model == core.TwoPass || cell.Model == core.TwoPassRegroup) && loadFeedsXor(prog) {
+		return &core.DivergenceError{
+			Model:   cell.Model,
+			Program: prog.Name,
+			Regs:    []arch.RegDiff{{Reg: isa.R(2), Got: 0xdead, Want: 0xbeef}},
+		}
+	}
+	return productionRunner(ctx, cell, cfg, prog, ref, log)
+}
+
+func TestInjectedMergeBugIsCaughtAndShrunk(t *testing.T) {
+	ctx := context.Background()
+	gen := progen.DefaultConfig()
+	gen.OuterTrips = 2
+	gen.BodyActions = 16
+	gen.ArrayBytes = 4 << 10
+	checker := NewChecker(SmokeLattice(), WithRunner(mergeBugRunner))
+
+	// Find a seed whose program contains the trigger pattern.
+	var prog *program.Program
+	var seed int64
+	for seed = 0; seed < 50; seed++ {
+		p := progen.Generate(seed, gen)
+		if loadFeedsXor(p) {
+			prog = p
+			break
+		}
+	}
+	if prog == nil {
+		t.Fatal("no generated program contains a load feeding an xor; generator mix too narrow")
+	}
+
+	res, err := checker.Check(ctx, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) == 0 {
+		t.Fatalf("injected bug not caught on seed %d", seed)
+	}
+	for _, d := range res.Divergences {
+		if d.Cell.Model == core.Baseline || d.Cell.Model == core.Runahead {
+			t.Fatalf("bug injected only into two-pass models, yet %v diverged", d.Cell)
+		}
+	}
+
+	min := checker.ShrinkDiverging(ctx, prog)
+	t.Logf("shrunk %d instructions to %d", len(prog.Insts), len(min.Insts))
+	if len(min.Insts) >= len(prog.Insts) {
+		t.Fatalf("shrinker made no progress: %d -> %d instructions", len(prog.Insts), len(min.Insts))
+	}
+	if len(min.Insts) > 20 {
+		t.Fatalf("minimized reproducer has %d instructions, want <= 20", len(min.Insts))
+	}
+	if !loadFeedsXor(min) {
+		t.Fatalf("minimized program lost the trigger pattern:\n%s", min.Dump())
+	}
+	if !checker.Diverges(ctx, min) {
+		t.Fatalf("minimized program no longer diverges")
+	}
+
+	// The reproducer must survive corpus serialization.
+	rt, err := program.ParseFlea("min.flea", min.MarshalFlea())
+	if err != nil {
+		t.Fatalf("minimized reproducer does not round-trip: %v", err)
+	}
+	if !loadFeedsXor(rt) || !checker.Diverges(ctx, rt) {
+		t.Fatalf("round-tripped reproducer no longer diverges")
+	}
+}
+
+func TestCampaignFindsInjectedBug(t *testing.T) {
+	gen := progen.DefaultConfig()
+	gen.OuterTrips = 2
+	gen.BodyActions = 16
+	gen.ArrayBytes = 4 << 10
+	st, err := RunCampaign(context.Background(), CampaignConfig{
+		Programs:    50,
+		Gen:         gen,
+		Cells:       SmokeLattice(),
+		Shrink:      true,
+		MaxFindings: 1,
+		Runner:      mergeBugRunner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Findings) != 1 {
+		t.Fatalf("campaign found %d findings, want 1", len(st.Findings))
+	}
+	f := st.Findings[0]
+	if f.Minimized == nil || len(f.Minimized.Insts) > 20 {
+		t.Fatalf("finding not shrunk to a small reproducer: %+v", f)
+	}
+}
+
+func TestCampaignCleanOnProductionMachines(t *testing.T) {
+	gen := progen.DefaultConfig()
+	gen.OuterTrips = 2
+	gen.BodyActions = 10
+	gen.ArrayBytes = 2 << 10
+	done := 0
+	st, err := RunCampaign(context.Background(), CampaignConfig{
+		SeedBase: 1000,
+		Programs: 8,
+		Gen:      gen,
+		Cells:    SmokeLattice(),
+		OnProgram: func(n int, _ *CampaignStats) {
+			done = n
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 8 || st.Programs+st.Skipped != 8 {
+		t.Fatalf("campaign accounting off: done=%d stats=%+v", done, st)
+	}
+	for _, f := range st.Findings {
+		for _, d := range f.Divergences {
+			t.Errorf("seed %d, cell %v: %v", f.Seed, d.Cell, d)
+		}
+	}
+	if st.CellRuns != int64(st.Programs*len(SmokeLattice())) {
+		t.Fatalf("cell-run accounting off: %+v", st)
+	}
+}
+
+func TestCampaignHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := RunCampaign(ctx, CampaignConfig{Programs: 5, Cells: SmokeLattice()})
+	if err == nil {
+		t.Fatal("cancelled campaign returned nil error")
+	}
+	if st == nil || st.Programs != 0 {
+		t.Fatalf("cancelled campaign should have done no work: %+v", st)
+	}
+}

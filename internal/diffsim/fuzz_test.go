@@ -1,0 +1,77 @@
+package diffsim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"fleaflicker/internal/progen"
+	"fleaflicker/internal/program"
+)
+
+// fuzzGenConfig keeps per-input work small enough for the fuzzing engine:
+// a few hundred dynamic instructions per program, four lattice cells.
+func fuzzGenConfig() progen.Config {
+	cfg := progen.DefaultConfig()
+	cfg.OuterTrips = 2
+	cfg.BodyActions = 10
+	cfg.ArrayBytes = 2 << 10
+	cfg.ChainNodes = 8
+	return cfg
+}
+
+// FuzzDifferential is the native fuzz entry point for the co-simulation
+// invariant: any (seed, trip-count, alias-distance) triple must produce a
+// program on which every machine model agrees with the reference executor.
+// Run with: go test -fuzz=FuzzDifferential ./internal/diffsim
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(0))
+	f.Add(int64(7), uint8(3), uint8(2))
+	f.Add(int64(99), uint8(1), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, trips, aliasDist uint8) {
+		cfg := fuzzGenConfig()
+		cfg.OuterTrips = 1 + int(trips%4)
+		cfg.AliasDistance = int(aliasDist % 6)
+		p := progen.Generate(seed, cfg)
+		checker := NewChecker(SmokeLattice())
+		res, err := checker.Check(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RefErr != nil {
+			t.Skipf("reference could not finish: %v", res.RefErr)
+		}
+		for _, d := range res.Divergences {
+			t.Errorf("seed %d, cell %v: %v", seed, d.Cell, d)
+		}
+		if t.Failed() {
+			t.Logf("reproducer:\n%s", p.MarshalFlea())
+		}
+	})
+}
+
+// FuzzCorpusRoundTrip checks that every generated program survives .flea
+// serialization exactly — the property reproducer files depend on.
+func FuzzCorpusRoundTrip(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(42))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p := progen.Generate(seed, fuzzGenConfig())
+		blob := p.MarshalFlea()
+		q, err := program.ParseFlea("fuzz.flea", blob)
+		if err != nil {
+			t.Fatalf("generated program does not reassemble: %v\n%s", err, blob)
+		}
+		if len(q.Insts) != len(p.Insts) || q.Entry != p.Entry || !q.Data.Equal(p.Data) {
+			t.Fatalf("round trip changed the program")
+		}
+		for i := range p.Insts {
+			if p.Insts[i] != q.Insts[i] {
+				t.Fatalf("inst %d changed: %v -> %v", i, &p.Insts[i], &q.Insts[i])
+			}
+		}
+		if !bytes.Equal(blob, q.MarshalFlea()) {
+			t.Fatalf("second serialization differs")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package diffsim
+
+import (
+	"context"
+
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/program"
+)
+
+// This file implements the reproducer shrinker: a delta-debugging (ddmin
+// style) minimizer that deletes instruction ranges — largest chunks first,
+// halving the granularity — keeping a candidate only when it still
+// validates, still halts under the reference executor, and still exhibits
+// the divergence. Deleting instructions shifts every later instruction
+// down, so branch targets are remapped and issue-group stop bits repaired
+// on each candidate.
+
+// deleteRange returns a copy of p with instructions [lo, hi) removed.
+// Branch targets are shifted past the hole (targets inside it land on the
+// instruction that now follows it), the deleted range's trailing stop bit
+// is propagated to the preceding instruction so group boundaries survive,
+// and the final instruction's mandatory stop bit is restored. Returns nil
+// for a cut that would delete the whole program.
+//
+// Indirect-branch targets built with MovLabel live in immediates the
+// shrinker cannot see; a cut that breaks one produces a program the keep
+// predicate (which re-runs the reference) simply rejects.
+func deleteRange(p *program.Program, lo, hi int32) *program.Program {
+	n := int32(len(p.Insts))
+	if lo < 0 || hi <= lo || hi > n || hi-lo >= n {
+		return nil
+	}
+	cut := hi - lo
+	newLen := n - cut
+	insts := make([]isa.Inst, 0, newLen)
+	insts = append(insts, p.Insts[:lo]...)
+	insts = append(insts, p.Insts[hi:]...)
+	if lo > 0 && p.Insts[hi-1].Stop {
+		insts[lo-1].Stop = true
+	}
+	remap := func(t int32) int32 {
+		switch {
+		case t >= hi:
+			t -= cut
+		case t >= lo:
+			t = lo
+		}
+		if t >= newLen {
+			t = newLen - 1
+		}
+		if t < 0 {
+			t = 0
+		}
+		return t
+	}
+	for i := range insts {
+		in := &insts[i]
+		if in.Op.IsBranch() && in.Op != isa.OpBrRet && in.Op != isa.OpBrInd {
+			in.Target = remap(in.Target)
+		}
+	}
+	insts[newLen-1].Stop = true
+	return &program.Program{Name: p.Name, Insts: insts, Entry: remap(p.Entry), Data: p.Data}
+}
+
+// shrinkMaxEvals bounds the number of keep-predicate evaluations one
+// Shrink call may spend; each evaluation re-simulates the candidate across
+// (part of) the lattice, so this caps shrinking time deterministically.
+const shrinkMaxEvals = 4000
+
+// Shrink minimizes prog while keep holds, returning the smallest program
+// found (possibly prog itself). Candidates must also pass the static
+// validator for the checker's machine shape, so every intermediate — and
+// the result — is a runnable program, not just a byte soup that happens to
+// trip the predicate. keep is never called on prog itself: the caller
+// asserts it already holds.
+func (c *Checker) Shrink(ctx context.Context, prog *program.Program, keep func(*program.Program) bool) *program.Program {
+	valid := func(q *program.Program) bool {
+		return q.Validate(c.base.IssueWidth, c.base.FUs) == nil
+	}
+	cur := prog
+	evals := 0
+	for chunk := int32(len(cur.Insts)) / 2; chunk >= 1; {
+		improved := false
+		for lo := int32(0); lo < int32(len(cur.Insts)); {
+			if ctx.Err() != nil || evals >= shrinkMaxEvals {
+				return cur
+			}
+			hi := lo + chunk
+			if hi > int32(len(cur.Insts)) {
+				hi = int32(len(cur.Insts))
+			}
+			cand := deleteRange(cur, lo, hi)
+			if cand != nil && valid(cand) {
+				evals++
+				if keep(cand) {
+					cur = cand // the same lo now names fresh instructions; retry it
+					improved = true
+					continue
+				}
+			}
+			lo += chunk
+		}
+		if chunk == 1 {
+			if !improved {
+				break
+			}
+			continue // stay at single-instruction granularity until a fixpoint
+		}
+		chunk /= 2
+	}
+	return cur
+}
+
+// ShrinkDiverging minimizes a diverging program down to a minimal
+// reproducer that still diverges somewhere on the checker's lattice.
+func (c *Checker) ShrinkDiverging(ctx context.Context, prog *program.Program) *program.Program {
+	return c.Shrink(ctx, prog, func(q *program.Program) bool { return c.Diverges(ctx, q) })
+}

@@ -1,0 +1,97 @@
+package diffsim
+
+import (
+	"context"
+	"testing"
+
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/program"
+)
+
+// buildStraightLine makes n trivial single-instruction groups ending in a
+// halt, with inst i writing r(1+i%8) = i so individual instructions are
+// distinguishable.
+func buildStraightLine(n int) *program.Program {
+	b := program.NewBuilder("straight")
+	for i := 0; i < n; i++ {
+		b.Emit(isa.Inst{Op: isa.OpMovI, Dst: isa.R(1 + i%8), Src1: isa.RegNone, Src2: isa.RegNone, Imm: int32(i), Stop: true})
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestDeleteRangeRemapsBranches(t *testing.T) {
+	b := program.NewBuilder("branchy")
+	b.Emit(isa.Inst{Op: isa.OpMovI, Dst: isa.R(1), Src1: isa.RegNone, Src2: isa.RegNone, Imm: 1, Stop: true}) // 0
+	b.Emit(isa.Inst{Op: isa.OpMovI, Dst: isa.R(2), Src1: isa.RegNone, Src2: isa.RegNone, Imm: 2, Stop: true}) // 1
+	b.Emit(isa.Inst{Op: isa.OpMovI, Dst: isa.R(3), Src1: isa.RegNone, Src2: isa.RegNone, Imm: 3, Stop: true}) // 2
+	b.Label("end")
+	b.Halt() // 3
+	p := b.MustBuild()
+	// A branch before the cut targeting past it must shift down.
+	p.Insts[0] = isa.Inst{Op: isa.OpBr, Pred: isa.P(0), Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, Target: 3, Stop: true}
+
+	q := deleteRange(p, 1, 3)
+	if q == nil {
+		t.Fatal("deleteRange returned nil for a legal cut")
+	}
+	if len(q.Insts) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(q.Insts))
+	}
+	if q.Insts[0].Target != 1 {
+		t.Fatalf("branch target not remapped: %d, want 1", q.Insts[0].Target)
+	}
+	if err := q.Validate(8, [isa.NumFUClasses]int{}); err != nil {
+		t.Fatalf("remapped program invalid: %v", err)
+	}
+}
+
+func TestDeleteRangeRejectsWholeProgram(t *testing.T) {
+	p := buildStraightLine(3)
+	if q := deleteRange(p, 0, int32(len(p.Insts))); q != nil {
+		t.Fatal("deleteRange deleted the entire program")
+	}
+}
+
+func TestDeleteRangePreservesStopBits(t *testing.T) {
+	b := program.NewBuilder("groups")
+	b.Emit(isa.Inst{Op: isa.OpMovI, Dst: isa.R(1), Src1: isa.RegNone, Src2: isa.RegNone, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.OpMovI, Dst: isa.R(2), Src1: isa.RegNone, Src2: isa.RegNone, Imm: 2, Stop: true})
+	b.Emit(isa.Inst{Op: isa.OpMovI, Dst: isa.R(3), Src1: isa.RegNone, Src2: isa.RegNone, Imm: 3, Stop: true})
+	b.Halt()
+	p := b.MustBuild()
+
+	// Deleting inst 1 (which carried the group's stop) must move the stop
+	// onto inst 0, otherwise insts 0 and 2 merge into one group with a WAW
+	// on nothing — here they'd merge fine, but group structure would drift.
+	q := deleteRange(p, 1, 2)
+	if q == nil {
+		t.Fatal("deleteRange returned nil")
+	}
+	if !q.Insts[0].Stop {
+		t.Fatal("stop bit not propagated to preceding instruction")
+	}
+}
+
+func TestShrinkFindsMinimalCore(t *testing.T) {
+	// Interestingness: the program still writes 7 into some register via
+	// movi. A 60-instruction straight-line program must shrink to the one
+	// movi carrying 7 plus whatever structure validation forces.
+	p := buildStraightLine(60)
+	checker := NewChecker(SmokeLattice())
+	keep := func(q *program.Program) bool {
+		for _, in := range q.Insts {
+			if in.Op == isa.OpMovI && in.Imm == 7 {
+				return true
+			}
+		}
+		return false
+	}
+	min := checker.Shrink(context.Background(), p, keep)
+	if len(min.Insts) > 2 {
+		t.Fatalf("shrunk to %d instructions, want <= 2:\n%s", len(min.Insts), min.Dump())
+	}
+	if !keep(min) {
+		t.Fatal("shrinker dropped the interesting instruction")
+	}
+}

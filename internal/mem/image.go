@@ -6,16 +6,28 @@
 // A-pipe.
 package mem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 const pageBits = 12
 const pageSize = 1 << pageBits
+
+// PageBytes is the size of one image page; PageBases returns addresses at
+// this granularity.
+const PageBytes = pageSize
 
 // Image is the functional (value-holding) memory: a sparse, paged, 32-bit
 // byte-addressable space. The zero value is an empty memory that reads as
 // zero. Timing is modelled separately by Hierarchy; caches hold no data.
 type Image struct {
 	pages map[uint32]*[pageSize]byte
+	// onWrite, when set, observes every Write in call order. The machine
+	// models funnel architectural store commits through Write, so an
+	// observer attached after construction sees exactly the committed-store
+	// sequence (see StoreLog and core.WithStoreLog).
+	onWrite func(addr uint32, size int, v uint64)
 }
 
 // NewImage returns an empty memory image.
@@ -50,6 +62,18 @@ func (m *Image) page(addr uint32, create bool) *[pageSize]byte {
 	return p
 }
 
+// PageBases returns the base addresses of every allocated page in ascending
+// order, for sparse serialization of the image.
+func (m *Image) PageBases() []uint32 {
+	bases := make([]uint32, 0, len(m.pages))
+	//flea:orderinvariant set construction; the bases are sorted before use
+	for k := range m.pages {
+		bases = append(bases, k<<pageBits)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases
+}
+
 // Byte returns the byte at addr.
 func (m *Image) Byte(addr uint32) byte {
 	p := m.page(addr, false)
@@ -76,12 +100,19 @@ func (m *Image) Read(addr uint32, size int) uint64 {
 
 // Write stores the low size bytes of v at addr, little-endian.
 func (m *Image) Write(addr uint32, size int, v uint64) {
+	if m.onWrite != nil {
+		m.onWrite(addr, size, v)
+	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	for i := 0; i < size; i++ {
 		m.SetByte(addr+uint32(i), buf[i])
 	}
 }
+
+// Observe attaches fn as the image's write observer; nil detaches it. Clones
+// do not inherit the observer.
+func (m *Image) Observe(fn func(addr uint32, size int, v uint64)) { m.onWrite = fn }
 
 // ReadU32 reads a 32-bit little-endian word.
 func (m *Image) ReadU32(addr uint32) uint32 { return uint32(m.Read(addr, 4)) }
@@ -146,4 +177,39 @@ func (m *Image) FirstDifference(o *Image) (addr uint32, ok bool) {
 		return 0, false
 	}
 	return uint32(best), true
+}
+
+// Differences returns the lowest max addresses at which the two images
+// differ, in ascending order, for structured divergence reports. An empty
+// slice means the images are equal (or max <= 0).
+func (m *Image) Differences(o *Image, max int) []uint32 {
+	if max <= 0 {
+		return nil
+	}
+	keys := make([]uint32, 0, len(m.pages)+len(o.pages))
+	//flea:orderinvariant set construction; the keys are sorted before use
+	for k := range m.pages {
+		keys = append(keys, k)
+	}
+	//flea:orderinvariant set construction; the keys are sorted before use
+	for k := range o.pages {
+		if _, dup := m.pages[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var diffs []uint32
+	for _, k := range keys {
+		base := k << pageBits
+		for i := 0; i < pageSize; i++ {
+			a := base + uint32(i)
+			if m.Byte(a) != o.Byte(a) {
+				diffs = append(diffs, a)
+				if len(diffs) >= max {
+					return diffs
+				}
+			}
+		}
+	}
+	return diffs
 }

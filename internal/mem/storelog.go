@@ -1,0 +1,98 @@
+package mem
+
+// StoreCommit is one architecturally committed store: the little-endian
+// value v written to size bytes at addr.
+type StoreCommit struct {
+	Addr uint32
+	Size int
+	Val  uint64
+}
+
+// storeLogPrefix bounds how many commits a StoreLog retains verbatim; the
+// order of everything beyond it is still covered by the rolling hash, so
+// unbounded programs cannot exhaust memory while order divergence anywhere
+// in the stream is still detected.
+const storeLogPrefix = 1 << 16
+
+// StoreLog records the architectural store-commit sequence of one run, for
+// cross-model committed-store-order comparison. Every machine model (and the
+// reference executor) commits stores in program order through Image.Write,
+// so two correct runs of one program produce identical logs. Attach with
+// Image.Observe (or core.WithStoreLog); Reset between runs to reuse one log.
+type StoreLog struct {
+	prefix []StoreCommit
+	n      int64
+	hash   uint64
+}
+
+// Record appends one commit; it has the signature Image.Observe expects.
+func (l *StoreLog) Record(addr uint32, size int, v uint64) {
+	if len(l.prefix) < storeLogPrefix {
+		l.prefix = append(l.prefix, StoreCommit{Addr: addr, Size: size, Val: v})
+	}
+	l.n++
+	// FNV-1a over the commit's identity, order-sensitive via chaining.
+	const fnvPrime = 1099511628211
+	h := l.hash
+	if h == 0 {
+		h = 14695981039346656037 // FNV offset basis
+	}
+	for _, w := range [3]uint64{uint64(addr), uint64(size), v} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xFF
+			h *= fnvPrime
+		}
+	}
+	l.hash = h
+}
+
+// Reset clears the log for reuse, keeping the prefix storage.
+func (l *StoreLog) Reset() {
+	l.prefix = l.prefix[:0]
+	l.n = 0
+	l.hash = 0
+}
+
+// Len returns the number of recorded commits.
+func (l *StoreLog) Len() int64 { return l.n }
+
+// Hash returns the order-sensitive digest of the full commit sequence.
+func (l *StoreLog) Hash() uint64 { return l.hash }
+
+// Prefix returns the retained leading commits (all of them for programs
+// under the retention bound).
+func (l *StoreLog) Prefix() []StoreCommit { return l.prefix }
+
+// FirstDivergence locates the first position at which two logs differ.
+// ok is false when the logs are identical. Beyond the retained prefix only
+// the digest distinguishes the logs; then idx = -1.
+func (l *StoreLog) FirstDivergence(o *StoreLog) (idx int64, ok bool) {
+	if l.n == o.n && l.hash == o.hash {
+		return 0, false
+	}
+	shorter := len(l.prefix)
+	if len(o.prefix) < shorter {
+		shorter = len(o.prefix)
+	}
+	for i := 0; i < shorter; i++ {
+		if l.prefix[i] != o.prefix[i] {
+			return int64(i), true
+		}
+	}
+	if int64(shorter) < l.n || int64(shorter) < o.n {
+		if shorter < storeLogPrefix {
+			return int64(shorter), true // one log simply ended here
+		}
+		return -1, true // differs past the retained prefix
+	}
+	return -1, true
+}
+
+// At returns the retained commit at idx, ok=false when it fell outside the
+// prefix (or idx is the one-past-the-end position of a shorter log).
+func (l *StoreLog) At(idx int64) (StoreCommit, bool) {
+	if idx < 0 || idx >= int64(len(l.prefix)) {
+		return StoreCommit{}, false
+	}
+	return l.prefix[idx], true
+}

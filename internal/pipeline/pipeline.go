@@ -111,11 +111,18 @@ type FrontEnd struct {
 	FetchStallCycles int64
 }
 
-// NewFrontEnd builds a front end starting at the program entry.
-func NewFrontEnd(cfg Config, prog *program.Program, hier *mem.Hierarchy, pred *bpred.Predictor) *FrontEnd {
+// NewFrontEnd builds a front end starting at the program entry. A non-nil
+// arena supplies (and outlives) the DynInst storage — callers that simulate
+// many short programs back to back (the differential fuzzer's inner loop)
+// pass one shared arena so each run reuses the previous run's records
+// instead of growing fresh slabs. nil allocates a private arena.
+func NewFrontEnd(cfg Config, prog *program.Program, hier *mem.Hierarchy, pred *bpred.Predictor, arena *Arena) *FrontEnd {
+	if arena == nil {
+		arena = NewArena()
+	}
 	return &FrontEnd{
 		cfg: cfg, prog: prog, hier: hier, pred: pred,
-		arena: NewArena(),
+		arena: arena,
 		queue: make([]Group, cfg.QueueCap),
 		pc:    prog.Entry, nextID: 1,
 	}

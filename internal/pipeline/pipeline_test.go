@@ -17,7 +17,7 @@ func newFE(t *testing.T, src string) *FrontEnd {
 	}
 	h := mem.NewHierarchy(mem.DefaultConfig())
 	b := bpred.New(bpred.DefaultConfig())
-	return NewFrontEnd(DefaultConfig(), p, h, b)
+	return NewFrontEnd(DefaultConfig(), p, h, b, nil)
 }
 
 func TestFetchDeliversGroupsInOrder(t *testing.T) {
@@ -269,7 +269,7 @@ func TestWrongPathOffEndStalls(t *testing.T) {
 `)
 	h := mem.NewHierarchy(mem.DefaultConfig())
 	b := bpred.New(bpred.DefaultConfig())
-	fe := NewFrontEnd(DefaultConfig(), p, h, b)
+	fe := NewFrontEnd(DefaultConfig(), p, h, b, nil)
 	fe.Redirect(99, 0) // simulate a wrong-path target out of range
 	for now := int64(1); now < 50; now++ {
 		fe.Tick(now)

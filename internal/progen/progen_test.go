@@ -1,0 +1,97 @@
+package progen
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+
+	"fleaflicker/internal/arch"
+	"fleaflicker/internal/isa"
+)
+
+func TestGeneratedProgramsValidateAndHalt(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(0); seed < 25; seed++ {
+		p := Generate(seed, cfg) // Generate panics if Validate fails
+		res, err := arch.Run(p, 5_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: reference execution failed: %v", seed, err)
+		}
+		if res.Instructions == 0 {
+			t.Fatalf("seed %d: program executed no instructions", seed)
+		}
+	}
+}
+
+func TestGenerateIsDeterministicInProcess(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Generate(42, cfg).MarshalFlea()
+	b := Generate(42, cfg).MarshalFlea()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two generations from the same seed differ")
+	}
+	c := Generate(43, cfg).MarshalFlea()
+	if bytes.Equal(a, c) {
+		t.Fatalf("different seeds produced identical programs")
+	}
+}
+
+func TestGroupsAreMultiInstruction(t *testing.T) {
+	p := Generate(7, DefaultConfig())
+	groups, insts := 0, len(p.Insts)
+	for pc := int32(0); int(pc) < insts; pc = p.GroupBounds(pc) {
+		groups++
+	}
+	if groups == insts {
+		t.Fatalf("every group has exactly one instruction; the packer is not packing")
+	}
+	t.Logf("%d instructions in %d groups (%.2f per group)", insts, groups, float64(insts)/float64(groups))
+}
+
+func TestZeroWeightDisablesAction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WeightCall = 0
+	cfg.WeightBranch = 0
+	cfg.WeightLoop = 0
+	p := Generate(3, cfg)
+	for i, in := range p.Insts {
+		if in.Op == isa.OpBrCall {
+			t.Fatalf("inst %d: call emitted with WeightCall=0", i)
+		}
+	}
+}
+
+// genHash is the digest compared across processes by the determinism test.
+func genHash() string {
+	cfg := DefaultConfig()
+	h := sha256.New()
+	for seed := int64(0); seed < 8; seed++ {
+		h.Write(Generate(seed, cfg).MarshalFlea())
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestGenerateIsDeterministicAcrossProcesses re-executes the test binary as
+// a child process and compares program digests, catching nondeterminism
+// that hides within a single process (address-dependent hashing, global
+// state leaking between tests).
+func TestGenerateIsDeterministicAcrossProcesses(t *testing.T) {
+	const env = "PROGEN_DETERMINISM_CHILD"
+	if os.Getenv(env) == "1" {
+		fmt.Println(genHash())
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestGenerateIsDeterministicAcrossProcesses$", "-test.v")
+	cmd.Env = append(os.Environ(), env+"=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child process failed: %v\n%s", err, out)
+	}
+	want := genHash()
+	if !bytes.Contains(out, []byte(want)) {
+		t.Fatalf("child digest does not match parent digest %s\nchild output:\n%s", want, out)
+	}
+}

@@ -1,0 +1,105 @@
+package program
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fleaflicker/internal/mem"
+)
+
+// This file implements the .flea corpus format used by the differential
+// fuzzer (internal/diffsim, cmd/fleafuzz) to persist reproducers: a
+// self-contained textual serialization of a Program — its initial data
+// image as sparse .word directives plus its instruction stream — in the
+// repository's own assembly syntax. A .flea file therefore needs no special
+// loader: ParseFlea is the assembler, and a reproducer can be hand-edited,
+// replayed with `fleasim -repro`, or re-minimized, without the fuzz harness
+// that produced it.
+//
+// Branch targets are serialized as absolute instruction indices (@N), so
+// the instruction stream round-trips exactly; source labels are not
+// preserved (minimized programs no longer correspond to the generator's
+// label structure anyway).
+
+// fleaHeader identifies a .flea corpus file; ParseFlea requires it.
+const fleaHeader = "# fleaflicker .flea reproducer v1"
+
+// fleaEntryLabel marks the entry instruction in serialized programs.
+const fleaEntryLabel = "__entry"
+
+// WriteFlea serializes p to w in the .flea corpus format.
+func (p *Program) WriteFlea(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(fleaHeader + "\n")
+	// The program name is deliberately not serialized (a reloaded reproducer
+	// is named after its file), so re-serializing is byte-stable.
+	fmt.Fprintf(&b, "# %d instructions\n", len(p.Insts))
+	fmt.Fprintf(&b, ".entry %s\n", fleaEntryLabel)
+
+	if p.Data != nil {
+		wroteData := false
+		cursor := uint32(0)
+		for _, base := range p.Data.PageBases() {
+			for off := uint32(0); off < mem.PageBytes; off += 4 {
+				addr := base + off
+				v := p.Data.ReadU32(addr)
+				if v == 0 {
+					continue
+				}
+				if !wroteData {
+					b.WriteString(".data\n")
+					wroteData = true
+				}
+				if addr != cursor {
+					fmt.Fprintf(&b, ".org %#x\n", addr)
+				}
+				fmt.Fprintf(&b, ".word %#x\n", v)
+				cursor = addr + 4
+			}
+		}
+	}
+
+	b.WriteString(".text\n")
+	for i := range p.Insts {
+		if int32(i) == p.Entry {
+			b.WriteString(fleaEntryLabel + ":\n")
+		}
+		fmt.Fprintf(&b, "\t%s\n", p.Insts[i].String())
+	}
+	if int(p.Entry) == len(p.Insts) { // degenerate but explicit
+		b.WriteString(fleaEntryLabel + ":\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MarshalFlea returns p in the .flea corpus format.
+func (p *Program) MarshalFlea() []byte {
+	var b strings.Builder
+	if err := p.WriteFlea(&b); err != nil {
+		panic(err) // strings.Builder writes cannot fail
+	}
+	return []byte(b.String())
+}
+
+// ParseFlea parses a .flea corpus file. The format is the repository's
+// assembly language, so this is Assemble plus a header check guarding
+// against feeding arbitrary assembly where a reproducer is expected.
+func ParseFlea(name string, src []byte) (*Program, error) {
+	if !strings.HasPrefix(string(src), fleaHeader) {
+		return nil, fmt.Errorf("%s: not a .flea reproducer (missing %q header)", name, fleaHeader)
+	}
+	return Assemble(name, string(src))
+}
+
+// LoadFlea reads and parses a .flea corpus file from disk, naming the
+// program after the file.
+func LoadFlea(path string) (*Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseFlea(path, src)
+}

@@ -46,6 +46,9 @@ type Config struct {
 	// default only chases stalls longer than the refill.
 	MinStallCycles int
 	MaxCycles      int64
+	// Arena, when non-nil, supplies the machine's DynInst storage so
+	// back-to-back simulations reuse records (see pipeline.NewFrontEnd).
+	Arena *pipeline.Arena `json:"-"`
 }
 
 // DefaultConfig returns the idealized run-ahead machine on the Table 1
@@ -108,7 +111,7 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 	m := &Machine{
 		cfg:  cfg,
 		prog: prog,
-		fe:   pipeline.NewFrontEnd(cfg.Front, prog, hier, bpred.New(cfg.Bpred)),
+		fe:   pipeline.NewFrontEnd(cfg.Front, prog, hier, bpred.New(cfg.Bpred), cfg.Arena),
 		hier: hier,
 		st:   arch.NewState(prog.InitialImage()),
 	}

@@ -17,8 +17,11 @@ type UnitResult struct {
 	// DurationMS is the wall-clock time of the one real execution that
 	// produced this result (cache hits observe the original duration).
 	DurationMS float64 `json:"duration_ms"`
-	// Run is the full measurement record of the simulation.
-	Run *stats.Run `json:"run"`
+	// Run is the full measurement record of the simulation (nil for fuzz
+	// units, which report through Fuzz instead).
+	Run *stats.Run `json:"run,omitempty"`
+	// Fuzz is a fuzz chunk's campaign report (nil for simulation units).
+	Fuzz *FuzzReport `json:"fuzz,omitempty"`
 }
 
 // entry is one cache slot. Its lifecycle: created in-flight when a

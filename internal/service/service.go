@@ -110,14 +110,15 @@ func WithRunner(r Runner) Option {
 // Manager is the serving subsystem: admission, deduplication, execution
 // and reporting for simulation jobs.
 type Manager struct {
-	cfg     Config
-	reg     *metrics.Registry
-	met     *serviceMetrics
-	cache   *resultCache
-	queue   *taskQueue
-	runner  Runner
-	latency *LatencyHistogram
-	started time.Time
+	cfg        Config
+	reg        *metrics.Registry
+	met        *serviceMetrics
+	cache      *resultCache
+	queue      *taskQueue
+	runner     Runner
+	fuzzRunner FuzzRunner
+	latency    *LatencyHistogram
+	started    time.Time
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -145,12 +146,13 @@ func New(cfg Config, opts ...Option) *Manager {
 		cfg:     cfg,
 		reg:     reg,
 		met:     met,
-		cache:   newResultCache(cfg.CacheEntries, met),
-		queue:   newTaskQueue(cfg.QueueDepth, met.queueDepth),
-		runner:  defaultRunner,
-		latency: &LatencyHistogram{},
-		started: time.Now(),
-		jobs:    make(map[string]*Job),
+		cache:      newResultCache(cfg.CacheEntries, met),
+		queue:      newTaskQueue(cfg.QueueDepth, met.queueDepth),
+		runner:     defaultRunner,
+		fuzzRunner: defaultFuzzRunner,
+		latency:    &LatencyHistogram{},
+		started:    time.Now(),
+		jobs:       make(map[string]*Job),
 	}
 	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
 	for _, opt := range opts {
@@ -370,8 +372,14 @@ func (m *Manager) worker() {
 		}
 		m.met.workersBusy.Add(1)
 		start := time.Now()
-		r, err := m.runner(t.ctx, t.spec)
-		elapsed := time.Since(start)
+		res := &UnitResult{Key: t.entry.key}
+		var err error
+		if t.spec.Fuzz != nil {
+			res.Fuzz, err = m.fuzzRunner(t.ctx, t.spec)
+		} else {
+			res.Run, err = m.runner(t.ctx, t.spec)
+		}
+		res.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
 		m.met.workersBusy.Add(-1)
 		m.met.unitsExecuted.Inc()
 		if err != nil {
@@ -379,11 +387,7 @@ func (m *Manager) worker() {
 			m.cache.complete(t.entry, nil, err)
 			continue
 		}
-		m.cache.complete(t.entry, &UnitResult{
-			Key:        t.entry.key,
-			DurationMS: float64(elapsed) / float64(time.Millisecond),
-			Run:        r,
-		}, nil)
+		m.cache.complete(t.entry, res, nil)
 	}
 }
 

@@ -15,11 +15,13 @@ import (
 // layer can map the whole family to one status code.
 var ErrInvalidSpec = errors.New("service: invalid job spec")
 
-// JobSpec is the wire format of one submission: either a single run
-// (kind "run", the default) or a parameter-sweep grid (kind "sweep")
-// expanded server-side into one simulation unit per grid point.
+// JobSpec is the wire format of one submission: a single run (kind "run",
+// the default), a parameter-sweep grid (kind "sweep") expanded server-side
+// into one simulation unit per grid point, or a differential fuzzing
+// campaign (kind "fuzz") chunked into one unit per seed range.
 type JobSpec struct {
-	// Kind selects the submission shape: "run" (default) or "sweep".
+	// Kind selects the submission shape: "run" (default), "sweep" or
+	// "fuzz".
 	Kind string `json:"kind,omitempty"`
 
 	// Model and Bench name a single run's cell. Sweeps use the plural
@@ -49,6 +51,10 @@ type JobSpec struct {
 	// Sweep adds parameter axes; the grid is the cartesian product of
 	// models × benches × every non-empty axis.
 	Sweep *SweepAxes `json:"sweep,omitempty"`
+
+	// Fuzz configures a kind-"fuzz" differential campaign; Seed is the
+	// first generator seed.
+	Fuzz *FuzzSpec `json:"fuzz,omitempty"`
 }
 
 // SweepAxes are the server-side expanded sweep dimensions, mirroring the
@@ -126,6 +132,10 @@ type UnitSpec struct {
 	Verify    bool        `json:"verify,omitempty"`
 	Params    []Param     `json:"params,omitempty"`
 	Config    core.Config `json:"-"`
+	// Fuzz marks this unit as one chunk of a differential fuzzing campaign
+	// instead of a single simulation (ModelName is then "fuzz" and Bench a
+	// seed-range label).
+	Fuzz *FuzzUnit `json:"fuzz,omitempty"`
 }
 
 // Key returns the unit's content-addressed cache key: a SHA-256 over the
@@ -140,7 +150,8 @@ func (u *UnitSpec) Key() string {
 		Seed   int64       `json:"seed"`
 		Verify bool        `json:"verify"`
 		Config core.Config `json:"config"`
-	}{u.ModelName, u.Bench, u.Seed, u.Verify, u.Config}
+		Fuzz   *FuzzUnit   `json:"fuzz,omitempty"`
+	}{u.ModelName, u.Bench, u.Seed, u.Verify, u.Config, u.Fuzz}
 	b, err := json.Marshal(payload)
 	if err != nil {
 		// core.Config is plain data; Marshal cannot fail on it.
@@ -166,8 +177,13 @@ func modelByName(name string) (core.Model, error) {
 func (s *JobSpec) expand() ([]UnitSpec, error) {
 	switch s.Kind {
 	case "", "run", "sweep":
+	case "fuzz":
+		return s.expandFuzz()
 	default:
-		return nil, fmt.Errorf("%w: unknown kind %q (have run, sweep)", ErrInvalidSpec, s.Kind)
+		return nil, fmt.Errorf("%w: unknown kind %q (have run, sweep, fuzz)", ErrInvalidSpec, s.Kind)
+	}
+	if s.Fuzz != nil {
+		return nil, fmt.Errorf("%w: fuzz parameters require kind fuzz", ErrInvalidSpec)
 	}
 
 	models := s.Models

@@ -87,6 +87,10 @@ type Config struct {
 	CheckpointRepair bool
 
 	MaxCycles int64
+
+	// Arena, when non-nil, supplies the machine's DynInst storage so
+	// back-to-back simulations reuse records (see pipeline.NewFrontEnd).
+	Arena *pipeline.Arena `json:"-"`
 }
 
 // DefaultConfig returns the Table 1 two-pass machine (2P).
@@ -259,7 +263,7 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 	m := &Machine{
 		cfg:  cfg,
 		prog: prog,
-		fe:   pipeline.NewFrontEnd(cfg.Front, prog, hier, bpred.New(cfg.Bpred)),
+		fe:   pipeline.NewFrontEnd(cfg.Front, prog, hier, bpred.New(cfg.Bpred), cfg.Arena),
 		hier: hier,
 		bst:  arch.NewState(prog.InitialImage()),
 		cq:   newCQRing(cfg.CQSize),
