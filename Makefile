@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench bench-smoke race-service fuzz-smoke fuzz
+.PHONY: ci vet lint build test race bench bench-json bench-smoke ckpt-smoke race-service fuzz-smoke fuzz
 
-ci: vet lint build race bench-smoke fuzz-smoke
+ci: vet lint build race bench-smoke ckpt-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,12 +35,28 @@ race-service:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
+# bench-json writes the machine-readable perf snapshot (BENCH_<rev>.json:
+# instructions/second and allocations per run for every model) into the repo
+# root, to commit alongside perf-sensitive changes so regressions diff in
+# review.
+bench-json:
+	$(GO) run ./cmd/fleabench -json .
+
 # bench-smoke is the simulator-speed regression gate: the allocation test
 # fails if the cycle loop regresses to allocating per instruction, and the
 # single-iteration SimSpeed run catches gross slowdowns and bench bit-rot.
 bench-smoke:
 	$(GO) test -run='^TestSteadyStateAllocationFree$$' ./internal/core/
 	$(GO) test -bench=BenchmarkSimSpeed -benchtime=1x -run=^$$ .
+
+# ckpt-smoke is the checkpoint-equivalence gate: a machine-snapshot resume
+# must be byte-identical to its from-zero run (stats, store log, trace
+# suffix) on every default-lattice cell, a functional resume must verify
+# cleanly on every model, and a checkpointed fuzz campaign must reach
+# exactly the verdicts of a from-zero one.
+ckpt-smoke:
+	$(GO) test -run='^(TestCheckpointResumeGoldenEquivalence|TestCampaignCheckpointedMatchesFromZero)$$' ./internal/diffsim/
+	$(GO) test -run='^(TestFunctionalResume|TestMachineSnapshotResume)$$' ./internal/core/
 
 # fuzz-smoke is the differential-correctness gate: a small seeded campaign
 # of generated EPIC programs run across the smoke lattice (every model, one

@@ -8,9 +8,9 @@
 // Usage:
 //
 //	fleafuzz [-programs N] [-duration D] [-seed N] [-corpus DIR]
-//	         [-smoke] [-no-shrink] [-trips N] [-actions N] [-alias N]
-//	         [-json] [-quiet]
-//	fleafuzz -repro FILE.flea
+//	         [-smoke] [-checkpoint] [-no-shrink] [-trips N] [-actions N]
+//	         [-alias N] [-json] [-quiet]
+//	fleafuzz -repro FILE.flea [-checkpoint]
 //
 // The campaign stops at whichever of -programs or -duration is hit first.
 // -repro replays one reproducer across the lattice and reports each cell's
@@ -41,6 +41,7 @@ func main() {
 		corpus   = flag.String("corpus", "", "directory to write minimized .flea reproducers into")
 		repro    = flag.String("repro", "", "replay one .flea reproducer across the lattice and exit")
 		smoke    = flag.Bool("smoke", false, "small lattice and small programs (CI smoke budget)")
+		ckpt     = flag.Bool("checkpoint", false, "fast-forward lattice cells from the reference's last functional checkpoint instead of simulating from cycle zero")
 		noShrink = flag.Bool("no-shrink", false, "keep diverging programs unminimized")
 		trips    = flag.Int("trips", 0, "override generator outer-loop trip count")
 		actions  = flag.Int("actions", 0, "override generator body actions per trip")
@@ -57,7 +58,7 @@ func main() {
 	defer stop()
 
 	if *repro != "" {
-		os.Exit(replay(ctx, *repro, *smoke))
+		os.Exit(replay(ctx, *repro, *smoke, *ckpt))
 	}
 
 	gen := progen.DefaultConfig()
@@ -87,12 +88,17 @@ func main() {
 
 	start := time.Now()
 	lastReport := start
+	var ckptEvery int64
+	if *ckpt {
+		ckptEvery = diffsim.AutoCheckpoint
+	}
 	cfg := diffsim.CampaignConfig{
-		SeedBase: *seedBase,
-		Programs: *programs,
-		Gen:      gen,
-		Cells:    cells,
-		Shrink:   !*noShrink,
+		SeedBase:        *seedBase,
+		Programs:        *programs,
+		Gen:             gen,
+		Cells:           cells,
+		Shrink:          !*noShrink,
+		CheckpointEvery: ckptEvery,
 		OnProgram: func(done int, st *diffsim.CampaignStats) {
 			if *quiet {
 				return
@@ -128,7 +134,7 @@ func main() {
 
 // replay runs one reproducer across the lattice, printing each cell's
 // verdict and the structured state diff for any divergence.
-func replay(ctx context.Context, path string, smoke bool) int {
+func replay(ctx context.Context, path string, smoke, ckpt bool) int {
 	prog, err := program.LoadFlea(path)
 	if err != nil {
 		fatal(err)
@@ -137,7 +143,11 @@ func replay(ctx context.Context, path string, smoke bool) int {
 	if smoke {
 		cells = diffsim.SmokeLattice()
 	}
-	checker := diffsim.NewChecker(cells)
+	var copts []diffsim.CheckerOption
+	if ckpt {
+		copts = append(copts, diffsim.WithCheckpointing(diffsim.AutoCheckpoint))
+	}
+	checker := diffsim.NewChecker(cells, copts...)
 	res, err := checker.Check(ctx, prog)
 	if err != nil {
 		fatal(err)

@@ -6,12 +6,18 @@
 //
 //	fleasim [-model base|2P|2Pre|runahead] [-verify] [-sched]
 //	        [-feedback N] [-cq N] [-alat N] [-throttle N] [-anticipable]
-//	        [-trace FILE.json] [-jsonl FILE.jsonl]
+//	        [-ckpt-every N] [-trace FILE.json] [-jsonl FILE.jsonl]
 //	        (-bench NAME | -random SEED | FILE.s)
 //	fleasim -repro FILE.flea
 //
 // -trace writes a Chrome trace_event file (open in about:tracing or
 // Perfetto); -jsonl writes one trace event per line as JSON.
+//
+// -ckpt-every N captures a functional checkpoint every N retired
+// instructions during the reference execution and fast-forwards the timed
+// run from the last one, verifying the final architectural state as -verify
+// does. (Distinct from -checkpoint, which selects the paper's §3.6
+// checkpointed A-file branch-recovery microarchitecture.)
 //
 // -repro replays a .flea reproducer (written by fleafuzz) on every machine
 // model at the configured two-pass parameters and prints each model's
@@ -49,6 +55,7 @@ func main() {
 		checkpoint   = flag.Bool("checkpoint", false, "two-pass: checkpointed A-file branch recovery (§3.6)")
 		sbSize       = flag.Int("sb", 0, "two-pass: speculative store buffer capacity (0 = unbounded)")
 		conflictPred = flag.Bool("conflictpred", false, "two-pass: store-wait conflict predictor (§3.4)")
+		ckptEvery    = flag.Int64("ckpt-every", 0, "fast-forward from a functional checkpoint taken every N retired instructions (implies -verify)")
 		chromeOut    = flag.String("trace", "", "write a Chrome trace_event file (about:tracing/Perfetto)")
 		jsonlOut     = flag.String("jsonl", "", "write the event stream as JSON lines")
 		reproFile    = flag.String("repro", "", "replay a .flea reproducer on every model and diff against the reference")
@@ -92,7 +99,19 @@ func main() {
 	}
 
 	opts := []core.Option{core.WithConfig(cfg)}
-	if *verify {
+	resumed := false
+	if *ckptEvery > 0 {
+		ref, err := core.ComputeReference(prog, cfg.MaxCycles, core.WithCheckpoints(*ckptEvery))
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, core.WithReference(ref))
+		if snap := ref.NearestCheckpoint(); snap != nil {
+			opts = append(opts, core.ResumeFrom(snap))
+			resumed = true
+			fmt.Printf("fast-forward: resuming from checkpoint at %d retired instructions\n", snap.Retired)
+		}
+	} else if *verify {
 		opts = append(opts, core.WithVerify())
 	}
 	if *chromeOut != "" && *jsonlOut != "" {
@@ -125,8 +144,11 @@ func main() {
 	if traceFile != nil {
 		fmt.Printf("trace written to %s\n", traceFile.Name())
 	}
-	if *verify {
+	if *verify || *ckptEvery > 0 {
 		fmt.Println("verified: architectural state matches the reference executor")
+	}
+	if resumed {
+		fmt.Println("note: cycle counts cover only the suffix simulated after the checkpoint")
 	}
 }
 

@@ -38,6 +38,9 @@ var machinePackages = []string{
 	"internal/twopass",
 	"internal/runahead",
 	"internal/baseline",
+	// Snapshot capture/restore runs inside the machines' cycle loops (at
+	// drain barriers), so it is held to the same ownership rules.
+	"internal/checkpoint",
 }
 
 // Analyzer is the arenadiscipline analysis.

@@ -43,6 +43,9 @@ var simulationPackages = []string{
 	// meaning.
 	"internal/progen",
 	"internal/diffsim",
+	// Checkpoints must serialize byte-identically for a given machine state:
+	// snapshot hashes and resumed-run equivalence both depend on it.
+	"internal/checkpoint",
 }
 
 // constructors are the math/rand package-level functions that build an

@@ -17,6 +17,7 @@ import (
 
 	"fleaflicker/internal/arch"
 	"fleaflicker/internal/bpred"
+	"fleaflicker/internal/checkpoint"
 	"fleaflicker/internal/isa"
 	"fleaflicker/internal/mem"
 	"fleaflicker/internal/metrics"
@@ -78,7 +79,21 @@ type Machine struct {
 	col    *stats.Collector
 	tr     *trace.Tracer
 	ctx    context.Context
+
+	// Checkpoint state (see snapshot.go). retired counts architecturally
+	// retired instructions; archPC tracks the next architectural PC so a
+	// drain barrier knows where to restart fetch.
+	retired   int64
+	archPC    int32
+	snapEvery int64
+	nextSnap  int64
+	draining  bool
+	onSnap    func(*checkpoint.Snapshot)
+	resume    *checkpoint.Snapshot
 }
+
+// modelTag identifies baseline machine snapshots.
+const modelTag = "base"
 
 // New builds a machine over a fresh copy of the program's memory. The
 // program must satisfy Validate for the configured widths.
@@ -116,6 +131,7 @@ func (m *Machine) Attach(ctx context.Context, reg *metrics.Registry, tr *trace.T
 
 // Run simulates to completion and returns the measurements.
 func (m *Machine) Run() (*stats.Run, error) {
+	m.primeCounters()
 	for !m.halted {
 		if m.now >= m.cfg.MaxCycles {
 			return nil, fmt.Errorf("baseline: %q exceeded %d cycles", m.prog.Name, m.cfg.MaxCycles)
@@ -125,8 +141,21 @@ func (m *Machine) Run() (*stats.Run, error) {
 				return nil, fmt.Errorf("baseline: %q: %w", m.prog.Name, err)
 			}
 		}
-		m.fe.Tick(m.now)
+		if m.draining {
+			// Fetch pauses until every fetched group has dispatched; then the
+			// machine is quiesced and the snapshot is architecturally exact.
+			if !m.fe.Pending() {
+				m.takeSnapshot()
+				m.fe.Redirect(m.archPC, m.now)
+				m.draining = false
+			}
+		} else {
+			m.fe.Tick(m.now)
+		}
 		m.step()
+		if m.snapEvery > 0 && !m.draining && m.retired >= m.nextSnap {
+			m.draining = true
+		}
 		m.now++
 	}
 	r := m.col.Snapshot(m.hier.Stats())
@@ -224,6 +253,7 @@ func (m *Machine) dispatch(g *pipeline.Group) {
 	for _, d := range g.Insts {
 		in := d.In
 		m.col.Instruction()
+		m.retired++
 		if m.tr.Enabled() {
 			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvDispatch, Pipe: trace.PipeA,
 				ID: d.ID, PC: d.PC, Note: in.String()})
@@ -236,6 +266,7 @@ func (m *Machine) dispatch(g *pipeline.Group) {
 			}
 			continue
 		}
+		m.archPC = d.PC + 1
 		if !predOn {
 			continue // retires as a no-op
 		}
@@ -298,6 +329,7 @@ func (m *Machine) resolveBranch(d *pipeline.DynInst, predOn bool) (squash bool) 
 	if taken {
 		actualNext = target
 	}
+	m.archPC = actualNext
 	// Train the predictor.
 	pred := m.fe.Predictor()
 	if d.HasCP {

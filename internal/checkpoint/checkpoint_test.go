@@ -1,0 +1,147 @@
+package checkpoint
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"fleaflicker/internal/bpred"
+	"fleaflicker/internal/mem"
+)
+
+func sampleSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	img := mem.NewImage()
+	img.Write(0x10, 8, 0xdeadbeefcafef00d)
+	img.Write(0x2000, 4, 42)
+	img.Write(0xfff, 2, 7) // straddles a page boundary
+
+	s := &Snapshot{
+		Kind:      KindMachine,
+		Model:     "2P",
+		Program:   "bench.micro",
+		Cycle:     12345,
+		Retired:   678,
+		PC:        13,
+		Mem:       img.Snapshot(),
+		StoreN:    3,
+		StoreHash: 0x1122334455667788,
+		StorePrefix: []mem.StoreCommit{
+			{Addr: 0x10, Size: 8, Val: 0xdeadbeefcafef00d},
+			{Addr: 0x2000, Size: 4, Val: 42},
+			{Addr: 0xfff, Size: 2, Val: 7},
+		},
+		Loads:         10,
+		Stores:        3,
+		Branches:      4,
+		FeNextID:      700,
+		FeFetchStalls: 9,
+	}
+	s.Regs[0] = 0
+	s.Regs[3] = 0xffffffffffffffff
+	s.Regs[7] = 123
+	s.ByClass[0] = 100
+	s.Pred = bpred.New(bpred.DefaultConfig()).CaptureState()
+	s.Pred.GHR = 0x2a
+
+	h := mem.NewHierarchy(mem.DefaultConfig())
+	h.Load(0x40, 0)
+	s.Hier = h.CaptureState()
+
+	// Insert sections and counters out of order: serialization must not
+	// depend on insertion order.
+	s.AddSection("zeta", []byte{9, 9})
+	s.AddSection("alpha", []byte{1, 2, 3})
+	s.SetCounters([]Counter{{"z.count", 5}, {"a.count", 1}})
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sampleSnapshot(t)
+	b, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Snapshot
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// Compare everything except Mem (pointer identity differs); then compare
+	// memory contents page by page.
+	want := *s
+	gotCopy := got
+	wantMem, gotMem := want.Mem, gotCopy.Mem
+	want.Mem, gotCopy.Mem = nil, nil
+	if !reflect.DeepEqual(want, gotCopy) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", gotCopy, want)
+	}
+	if wantMem.Pages() != gotMem.Pages() {
+		t.Fatalf("page count: got %d want %d", gotMem.Pages(), wantMem.Pages())
+	}
+	if d := mem.NewImage(); true {
+		a, b := wantMem.Image(), gotMem.Image()
+		_ = d
+		if !a.Equal(b) {
+			t.Fatalf("memory contents differ after round trip")
+		}
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	// Two snapshots with identical logical content but different construction
+	// order must encode to identical bytes.
+	a := sampleSnapshot(t)
+	b := sampleSnapshot(t)
+	b.Sections = nil
+	b.AddSection("alpha", []byte{1, 2, 3})
+	b.AddSection("zeta", []byte{9, 9})
+	b.SetCounters([]Counter{{"a.count", 1}, {"z.count", 5}})
+
+	ab, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("encoding depends on construction order (%d vs %d bytes)", len(ab), len(bb))
+	}
+	// And repeated marshals are stable.
+	ab2, _ := a.MarshalBinary()
+	if !bytes.Equal(ab, ab2) {
+		t.Fatal("re-marshal differs")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var s Snapshot
+	if err := s.UnmarshalBinary([]byte("nope")); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+	good, _ := sampleSnapshot(t).MarshalBinary()
+	if err := s.UnmarshalBinary(good[:len(good)/2]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	trailing := append(append([]byte(nil), good...), 0)
+	if err := s.UnmarshalBinary(trailing); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}
+
+func TestSectionLookup(t *testing.T) {
+	var s Snapshot
+	s.AddSection("b", []byte{2})
+	s.AddSection("a", []byte{1})
+	s.AddSection("b", []byte{3}) // replace
+	if d, ok := s.Section("b"); !ok || d[0] != 3 {
+		t.Fatalf("Section(b) = %v %v", d, ok)
+	}
+	if _, ok := s.Section("missing"); ok {
+		t.Fatal("found a missing section")
+	}
+	if len(s.Sections) != 2 || s.Sections[0].Name != "a" {
+		t.Fatalf("sections unsorted or duplicated: %+v", s.Sections)
+	}
+}

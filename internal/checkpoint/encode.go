@@ -1,0 +1,427 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fleaflicker/internal/bpred"
+	"fleaflicker/internal/isa"
+	"fleaflicker/internal/mem"
+)
+
+// Binary layout: magic "FLCK", one version byte, then every field in struct
+// order with fixed-width little-endian integers. Variable-length collections
+// are length-prefixed and written in sorted order (pages by base address,
+// counters and sections by name), so serialization is a pure function of the
+// snapshot's logical content: equal snapshots encode to equal bytes.
+
+var magic = [4]byte{'F', 'L', 'C', 'K'}
+
+const version = 1
+
+// Encoder builds a deterministic little-endian byte stream. Machines also use
+// it for their per-model Sections so those blobs share the determinism
+// guarantee.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with capacity preallocated for n bytes.
+func NewEncoder(n int) *Encoder { return &Encoder{buf: make([]byte, 0, n)} }
+
+// Bytes returns the encoded stream.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a bool as one byte (1/0).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I32 appends a little-endian int32.
+func (e *Encoder) I32(v int32) { e.U32(uint32(v)) }
+
+// I64 appends a little-endian int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as a little-endian int64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bytes32 appends a u32 length prefix followed by the raw bytes.
+func (e *Encoder) Bytes32(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder reads back a stream produced by Encoder. Errors are sticky: after
+// the first failure every read returns zero values and Err reports the cause.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps b for reading.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decoding error, nil if none.
+func (d *Decoder) err2(n int, what string) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("checkpoint: truncated stream reading %s at offset %d", what, d.off)
+		return false
+	}
+	return true
+}
+
+// Err returns the first decoding error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Rest returns the number of unread bytes.
+func (d *Decoder) Rest() int { return len(d.buf) - d.off }
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	if !d.err2(1, "u8") {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// Bool reads a one-byte bool.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if !d.err2(4, "u32") {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if !d.err2(8, "u64") {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// I32 reads a little-endian int32.
+func (d *Decoder) I32() int32 { return int32(d.U32()) }
+
+// I64 reads a little-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int encoded as int64.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// Bytes32 reads a length-prefixed byte slice (copied out of the stream).
+func (d *Decoder) Bytes32() []byte {
+	n := int(d.U32())
+	if !d.err2(n, "bytes") {
+		return nil
+	}
+	b := append([]byte(nil), d.buf[d.off:d.off+n]...)
+	d.off += n
+	return b
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.U32())
+	if !d.err2(n, "string") {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// MarshalBinary encodes the snapshot deterministically.
+func (s *Snapshot) MarshalBinary() ([]byte, error) {
+	pages := 0
+	if s.Mem != nil {
+		pages = s.Mem.Pages()
+	}
+	e := NewEncoder(256 + pages*(4+mem.PageBytes))
+	e.buf = append(e.buf, magic[:]...)
+	e.U8(version)
+	e.U8(uint8(s.Kind))
+	e.String(s.Model)
+	e.String(s.Program)
+	e.I64(s.Cycle)
+	e.I64(s.Retired)
+	e.I32(s.PC)
+	for _, r := range s.Regs {
+		e.U64(uint64(r))
+	}
+	e.U32(uint32(pages))
+	if s.Mem != nil {
+		s.Mem.EachPage(func(base uint32, data *[mem.PageBytes]byte) {
+			e.U32(base)
+			e.buf = append(e.buf, data[:]...)
+		})
+	}
+	e.I64(s.StoreN)
+	e.U64(s.StoreHash)
+	e.U32(uint32(len(s.StorePrefix)))
+	for _, c := range s.StorePrefix {
+		e.U32(c.Addr)
+		e.Int(c.Size)
+		e.U64(c.Val)
+	}
+	for _, v := range s.ByClass {
+		e.I64(v)
+	}
+	e.I64(s.Loads)
+	e.I64(s.Stores)
+	e.I64(s.Branches)
+	e.U64(s.FeNextID)
+	e.I64(s.FeFetchStalls)
+	e.Bool(s.Hier != nil)
+	if s.Hier != nil {
+		encodeHier(e, s.Hier)
+	}
+	e.Bool(s.Pred != nil)
+	if s.Pred != nil {
+		encodePred(e, s.Pred)
+	}
+	e.U32(uint32(len(s.Counters)))
+	for _, c := range s.Counters {
+		e.String(c.Name)
+		e.I64(c.Value)
+	}
+	e.U32(uint32(len(s.Sections)))
+	for _, sec := range s.Sections {
+		e.String(sec.Name)
+		e.Bytes32(sec.Data)
+	}
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a stream produced by MarshalBinary.
+func (s *Snapshot) UnmarshalBinary(b []byte) error {
+	if len(b) < len(magic)+1 || string(b[:4]) != string(magic[:]) {
+		return fmt.Errorf("checkpoint: bad magic")
+	}
+	if b[4] != version {
+		return fmt.Errorf("checkpoint: unsupported version %d", b[4])
+	}
+	d := NewDecoder(b[5:])
+	s.Kind = Kind(d.U8())
+	s.Model = d.String()
+	s.Program = d.String()
+	s.Cycle = d.I64()
+	s.Retired = d.I64()
+	s.PC = d.I32()
+	for i := range s.Regs {
+		s.Regs[i] = isa.Value(d.U64())
+	}
+	pages := int(d.U32())
+	s.Mem = mem.NewImageSnapshot()
+	var page [mem.PageBytes]byte
+	for i := 0; i < pages && d.Err() == nil; i++ {
+		base := d.U32()
+		if !d.err2(mem.PageBytes, "page") {
+			break
+		}
+		copy(page[:], d.buf[d.off:])
+		d.off += mem.PageBytes
+		if err := s.Mem.SetPage(base, page[:]); err != nil {
+			return err
+		}
+	}
+	s.StoreN = d.I64()
+	s.StoreHash = d.U64()
+	np := int(d.U32())
+	s.StorePrefix = make([]mem.StoreCommit, 0, np)
+	for i := 0; i < np && d.Err() == nil; i++ {
+		s.StorePrefix = append(s.StorePrefix, mem.StoreCommit{Addr: d.U32(), Size: d.Int(), Val: d.U64()})
+	}
+	for i := range s.ByClass {
+		s.ByClass[i] = d.I64()
+	}
+	s.Loads = d.I64()
+	s.Stores = d.I64()
+	s.Branches = d.I64()
+	s.FeNextID = d.U64()
+	s.FeFetchStalls = d.I64()
+	if d.Bool() {
+		s.Hier = decodeHier(d)
+	} else {
+		s.Hier = nil
+	}
+	if d.Bool() {
+		s.Pred = decodePred(d)
+	} else {
+		s.Pred = nil
+	}
+	nc := int(d.U32())
+	s.Counters = make([]Counter, 0, nc)
+	for i := 0; i < nc && d.Err() == nil; i++ {
+		s.Counters = append(s.Counters, Counter{Name: d.String(), Value: d.I64()})
+	}
+	ns := int(d.U32())
+	s.Sections = make([]Section, 0, ns)
+	for i := 0; i < ns && d.Err() == nil; i++ {
+		s.Sections = append(s.Sections, Section{Name: d.String(), Data: d.Bytes32()})
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if d.Rest() != 0 {
+		return fmt.Errorf("checkpoint: %d trailing bytes", d.Rest())
+	}
+	return nil
+}
+
+func encodeCache(e *Encoder, c *mem.CacheState) {
+	e.U32(uint32(len(c.Ways)))
+	for _, w := range c.Ways {
+		e.U32(w.Tag)
+		e.Bool(w.Valid)
+		e.Bool(w.Dirty)
+		e.U64(w.LRU)
+	}
+	e.U64(c.Tick)
+	e.I64(c.Stats.Accesses)
+	e.I64(c.Stats.Misses)
+	e.I64(c.Stats.Writebacks)
+}
+
+func decodeCache(d *Decoder) mem.CacheState {
+	n := int(d.U32())
+	c := mem.CacheState{Ways: make([]mem.WayState, 0, n)}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		c.Ways = append(c.Ways, mem.WayState{Tag: d.U32(), Valid: d.Bool(), Dirty: d.Bool(), LRU: d.U64()})
+	}
+	c.Tick = d.U64()
+	c.Stats = mem.CacheStats{Accesses: d.I64(), Misses: d.I64(), Writebacks: d.I64()}
+	return c
+}
+
+func encodeHier(e *Encoder, h *mem.HierarchyState) {
+	encodeCache(e, &h.L1I)
+	encodeCache(e, &h.L1D)
+	encodeCache(e, &h.L2)
+	encodeCache(e, &h.L3)
+	encodeStats(e, &h.Base)
+	e.U32(uint32(len(h.Inflight)))
+	for _, f := range h.Inflight {
+		e.U32(f.Line)
+		e.I64(f.Done)
+		e.U8(uint8(f.Level))
+	}
+}
+
+func decodeHier(d *Decoder) *mem.HierarchyState {
+	h := &mem.HierarchyState{}
+	h.L1I = decodeCache(d)
+	h.L1D = decodeCache(d)
+	h.L2 = decodeCache(d)
+	h.L3 = decodeCache(d)
+	h.Base = decodeStats(d)
+	n := int(d.U32())
+	h.Inflight = make([]mem.InflightFill, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		h.Inflight = append(h.Inflight, mem.InflightFill{Line: d.U32(), Done: d.I64(), Level: mem.Level(d.U8())})
+	}
+	return h
+}
+
+func encodeStats(e *Encoder, s *mem.Stats) {
+	for _, v := range s.DataServed {
+		e.I64(v)
+	}
+	for _, v := range s.FetchServed {
+		e.I64(v)
+	}
+	e.I64(s.Stores)
+}
+
+func decodeStats(d *Decoder) mem.Stats {
+	var s mem.Stats
+	for i := range s.DataServed {
+		s.DataServed[i] = d.I64()
+	}
+	for i := range s.FetchServed {
+		s.FetchServed[i] = d.I64()
+	}
+	s.Stores = d.I64()
+	return s
+}
+
+func encodePred(e *Encoder, p *bpred.State) {
+	e.U32(uint32(len(p.PHT)))
+	e.buf = append(e.buf, p.PHT...)
+	e.U32(p.GHR)
+	e.U32(uint32(len(p.BTB)))
+	for _, v := range p.BTB {
+		e.I32(v)
+	}
+	for _, v := range p.BTBTagged {
+		e.I32(v)
+	}
+	e.U32(uint32(len(p.RAS)))
+	for _, v := range p.RAS {
+		e.I32(v)
+	}
+	e.Int(p.RASTop)
+	e.I64(p.Lookups)
+	e.I64(p.Mispredicts)
+}
+
+func decodePred(d *Decoder) *bpred.State {
+	p := &bpred.State{}
+	n := int(d.U32())
+	if d.err2(n, "pht") {
+		p.PHT = append([]uint8(nil), d.buf[d.off:d.off+n]...)
+		d.off += n
+	}
+	p.GHR = d.U32()
+	nb := int(d.U32())
+	p.BTB = make([]int32, 0, nb)
+	for i := 0; i < nb && d.Err() == nil; i++ {
+		p.BTB = append(p.BTB, d.I32())
+	}
+	p.BTBTagged = make([]int32, 0, nb)
+	for i := 0; i < nb && d.Err() == nil; i++ {
+		p.BTBTagged = append(p.BTBTagged, d.I32())
+	}
+	nr := int(d.U32())
+	p.RAS = make([]int32, 0, nr)
+	for i := 0; i < nr && d.Err() == nil; i++ {
+		p.RAS = append(p.RAS, d.I32())
+	}
+	p.RASTop = d.Int()
+	p.Lookups = d.I64()
+	p.Mispredicts = d.I64()
+	return p
+}

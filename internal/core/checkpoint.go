@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fleaflicker/internal/checkpoint"
+	"fleaflicker/internal/mem"
+)
+
+// Snapshotter is implemented by every timed machine model: it can capture
+// resumable checkpoints at drain barriers and start from a previously
+// captured one. Simulate drives it through ResumeFrom and WithSnapshots;
+// the interface is exported so sweep drivers can type-assert machines they
+// build directly.
+type Snapshotter interface {
+	// ConfigureSnapshots arranges for a snapshot to be taken at the first
+	// quiesce point after every further `every` retired instructions, passing
+	// each to fn. Must be called before Run (and after RestoreSnapshot, so
+	// the schedule continues from the restored position).
+	ConfigureSnapshots(every int64, fn func(*checkpoint.Snapshot))
+	// RestoreSnapshot reinstates a snapshot as the machine's starting state.
+	// A KindFunctional snapshot fast-forwards the architectural state only
+	// (timing structures stay cold); a KindMachine snapshot must come from
+	// the same model and configuration and reproduces the producing run
+	// exactly. Must be called before Run.
+	RestoreSnapshot(snap *checkpoint.Snapshot) error
+}
+
+// RefOption configures one ComputeReference call.
+type RefOption func(*refOptions)
+
+type refOptions struct {
+	every int64
+}
+
+// WithCheckpoints makes ComputeReference capture a functional snapshot every
+// `every` retired instructions (after instructions every, 2*every, ... —
+// never at the halt itself). The snapshots land in Reference.Checkpoints and
+// fast-forward any model via ResumeFrom: a resumed timed run re-times only
+// the remaining delta while producing the same architectural results as a
+// from-zero run.
+func WithCheckpoints(every int64) RefOption {
+	return func(o *refOptions) { o.every = every }
+}
+
+// ResumeFrom starts the simulation from snap instead of the program entry.
+// Verification against a reference still checks the complete program: the
+// machine's store log is seeded with the snapshot's prefix and the retired-
+// instruction counters are primed, so final state, store order and instruction
+// counts all match a from-zero run.
+func ResumeFrom(snap *checkpoint.Snapshot) Option {
+	return func(o *options) { o.resume = snap }
+}
+
+// WithSnapshots makes the machine capture a resumable KindMachine snapshot at
+// the first pipeline-drain barrier after every `every` retired instructions,
+// passing each to fn. Draining perturbs timing slightly (fetch pauses while
+// in-flight instructions retire), so runs with snapshots enabled are
+// cycle-comparable only to other runs with the same `every`.
+func WithSnapshots(every int64, fn func(*checkpoint.Snapshot)) Option {
+	return func(o *options) { o.snapEvery = every; o.onSnap = fn }
+}
+
+// stampStoreLog copies the machine's committed-store log state into a
+// snapshot, so a run resumed from it can continue (and finish) the log
+// exactly as the producer would have.
+func stampStoreLog(s *checkpoint.Snapshot, log *mem.StoreLog) {
+	if log == nil {
+		return
+	}
+	s.StoreN = log.Len()
+	s.StoreHash = log.Hash()
+	s.StorePrefix = append([]mem.StoreCommit(nil), log.Prefix()...)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"fleaflicker/internal/arch"
+	"fleaflicker/internal/checkpoint"
 	"fleaflicker/internal/mem"
 	"fleaflicker/internal/metrics"
 	"fleaflicker/internal/program"
@@ -17,13 +18,16 @@ import (
 type Option func(*options)
 
 type options struct {
-	cfg      Config
-	verify   bool
-	ref      *Reference
-	storeLog *mem.StoreLog
-	sink     trace.Sink
-	reg      *metrics.Registry
-	closeMu  bool // close the sink when Simulate returns
+	cfg       Config
+	verify    bool
+	ref       *Reference
+	storeLog  *mem.StoreLog
+	sink      trace.Sink
+	reg       *metrics.Registry
+	closeMu   bool // close the sink when Simulate returns
+	resume    *checkpoint.Snapshot
+	snapEvery int64
+	onSnap    func(*checkpoint.Snapshot)
 }
 
 // WithConfig replaces the default (Table 1) machine configuration.
@@ -49,12 +53,31 @@ type Reference struct {
 	// Stores is the reference committed-store sequence; nil when not
 	// captured (store order then goes unchecked).
 	Stores *mem.StoreLog
+	// Checkpoints holds the functional snapshots captured during the
+	// reference execution (WithCheckpoints), oldest first. Any timed model
+	// can fast-forward from one via ResumeFrom.
+	Checkpoints []*checkpoint.Snapshot
+}
+
+// NearestCheckpoint returns the latest checkpoint, nil when none were
+// captured. (All checkpoints precede the halt, so the latest one minimizes
+// the delta every resumed run must re-simulate.)
+func (r *Reference) NearestCheckpoint() *checkpoint.Snapshot {
+	if len(r.Checkpoints) == 0 {
+		return nil
+	}
+	return r.Checkpoints[len(r.Checkpoints)-1]
 }
 
 // ComputeReference runs the functional reference executor over prog,
 // capturing the committed-store log alongside the final state.
-func ComputeReference(prog *program.Program, maxSteps int64) (*Reference, error) {
+func ComputeReference(prog *program.Program, maxSteps int64, opts ...RefOption) (*Reference, error) {
+	var ro refOptions
+	for _, opt := range opts {
+		opt(&ro)
+	}
 	e := arch.NewExecutor(prog)
+	ref := &Reference{}
 	var log mem.StoreLog
 	e.State().Mem.Observe(log.Record)
 	var steps int64
@@ -67,9 +90,37 @@ func ComputeReference(prog *program.Program, maxSteps int64) (*Reference, error)
 			return nil, fmt.Errorf("core: reference execution: %w", err)
 		}
 		steps++
+		if ro.every > 0 && steps%ro.every == 0 && !e.Halted() {
+			ref.Checkpoints = append(ref.Checkpoints, functionalSnapshot(prog, e, steps, &log))
+		}
 	}
 	e.State().Mem.Observe(nil)
-	return &Reference{Result: e.Result(), Stores: &log}, nil
+	ref.Result = e.Result()
+	ref.Stores = &log
+	return ref, nil
+}
+
+// functionalSnapshot captures the reference executor's architectural state
+// after `steps` retired instructions as a KindFunctional checkpoint.
+func functionalSnapshot(prog *program.Program, e *arch.Executor, steps int64, log *mem.StoreLog) *checkpoint.Snapshot {
+	res := e.Result()
+	s := &checkpoint.Snapshot{
+		Kind:     checkpoint.KindFunctional,
+		Program:  prog.Name,
+		Retired:  steps,
+		PC:       e.PC(),
+		Regs:     e.State().Regs,
+		Mem:      e.State().Mem.Snapshot(),
+		ByClass:  res.ByClass,
+		Loads:    res.Loads,
+		Stores:   res.Stores,
+		Branches: res.Branches,
+	}
+	stampStoreLog(s, log)
+	// A resumed machine primes its retired-instruction counter so the final
+	// count equals prefix + delta, matching the reference.
+	s.SetCounters([]checkpoint.Counter{{Name: stats.MetricInstructions, Value: steps}})
+	return s
 }
 
 // WithReference verifies the simulation against a precomputed reference
@@ -126,12 +177,37 @@ func Simulate(ctx context.Context, model Model, prog *program.Program, opts ...O
 	if err != nil {
 		return nil, err
 	}
+	if o.resume != nil || o.snapEvery > 0 {
+		sn, ok := m.(Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("core: model %s does not support checkpoints", model)
+		}
+		if o.resume != nil {
+			if err := sn.RestoreSnapshot(o.resume); err != nil {
+				return nil, fmt.Errorf("core: restoring snapshot: %w", err)
+			}
+		}
+		if o.snapEvery > 0 {
+			// Stamp the machine's store-log position into every snapshot so
+			// a run resumed from it finishes the log identically.
+			userFn := o.onSnap
+			sn.ConfigureSnapshots(o.snapEvery, func(s *checkpoint.Snapshot) {
+				stampStoreLog(s, o.storeLog)
+				if userFn != nil {
+					userFn(s)
+				}
+			})
+		}
+	}
 	var tr *trace.Tracer
 	if o.sink != nil {
 		tr = trace.New(o.sink)
 	}
 	if o.storeLog != nil {
 		o.storeLog.Reset()
+		if o.resume != nil {
+			o.storeLog.Seed(o.resume.StorePrefix, o.resume.StoreN, o.resume.StoreHash)
+		}
 		m.State().Mem.Observe(o.storeLog.Record)
 	}
 	m.Attach(ctx, o.reg, tr)

@@ -29,6 +29,11 @@ type CampaignConfig struct {
 	MaxFindings int
 	// Runner overrides the production simulation runner (test seam).
 	Runner Runner
+	// CheckpointEvery, when non-zero, fans each program's lattice cells out
+	// from the reference execution's last functional checkpoint instead of
+	// from cycle zero (see WithCheckpointing); AutoCheckpoint derives the
+	// interval per program.
+	CheckpointEvery int64
 	// OnProgram, when non-nil, observes progress after each program.
 	OnProgram func(done int, st *CampaignStats)
 }
@@ -82,6 +87,9 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignStats, error
 	var copts []CheckerOption
 	if cfg.Runner != nil {
 		copts = append(copts, WithRunner(cfg.Runner))
+	}
+	if cfg.CheckpointEvery != 0 {
+		copts = append(copts, WithCheckpointing(cfg.CheckpointEvery))
 	}
 	checker := NewChecker(cells, copts...)
 

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fleaflicker/internal/checkpoint"
 	"fleaflicker/internal/core"
 	"fleaflicker/internal/mem"
 	"fleaflicker/internal/pipeline"
@@ -77,14 +78,19 @@ func SmokeLattice() []Cell {
 
 // Runner simulates prog on one lattice cell and returns core.Simulate's
 // error, if any (a *core.DivergenceError when the machine disagreed with
-// ref). It exists as a seam so tests can inject faults between the checker
-// and the machines — the injected-bug minimizer test fabricates a CQ merge
-// bug here without corrupting production machine code.
-type Runner func(ctx context.Context, cell Cell, cfg core.Config, prog *program.Program, ref *core.Reference, log *mem.StoreLog) error
+// ref). When resume is non-nil the cell starts from that snapshot instead
+// of from cycle zero (fast-forward mode). It exists as a seam so tests can
+// inject faults between the checker and the machines — the injected-bug
+// minimizer test fabricates a CQ merge bug here without corrupting
+// production machine code.
+type Runner func(ctx context.Context, cell Cell, cfg core.Config, prog *program.Program, ref *core.Reference, resume *checkpoint.Snapshot, log *mem.StoreLog) error
 
-func productionRunner(ctx context.Context, cell Cell, cfg core.Config, prog *program.Program, ref *core.Reference, log *mem.StoreLog) error {
-	_, err := core.Simulate(ctx, cell.Model, prog,
-		core.WithConfig(cfg), core.WithReference(ref), core.WithStoreLog(log))
+func productionRunner(ctx context.Context, cell Cell, cfg core.Config, prog *program.Program, ref *core.Reference, resume *checkpoint.Snapshot, log *mem.StoreLog) error {
+	opts := []core.Option{core.WithConfig(cfg), core.WithReference(ref), core.WithStoreLog(log)}
+	if resume != nil {
+		opts = append(opts, core.ResumeFrom(resume))
+	}
+	_, err := core.Simulate(ctx, cell.Model, prog, opts...)
 	return err
 }
 
@@ -131,15 +137,34 @@ func WithRunner(r Runner) CheckerOption {
 	return func(c *Checker) { c.runner = r }
 }
 
+// AutoCheckpoint asks the checker to pick the checkpoint interval itself:
+// one eighth of each program's dynamic instruction count, so every cell
+// replays at most 1/8 of the work from the nearest snapshot.
+const AutoCheckpoint int64 = -1
+
+// WithCheckpointing makes the checker fan lattice cells out from the
+// reference execution's last functional checkpoint instead of from cycle
+// zero. every is the snapshot interval in retired instructions;
+// AutoCheckpoint derives it per program. Resumed cells verify the same
+// final architectural state (registers, memory, committed-store order) as
+// from-zero runs, but only execute the post-checkpoint suffix, so bugs
+// whose architectural effects both appear and cancel strictly before the
+// last checkpoint are not observable — use from-zero runs when that
+// matters more than throughput.
+func WithCheckpointing(every int64) CheckerOption {
+	return func(c *Checker) { c.ckptEvery = every }
+}
+
 // Checker runs programs across a configuration lattice. It owns a pipeline
 // arena and a store log that are reused across every simulation of every
 // program, keeping the fuzzing inner loop allocation-flat.
 type Checker struct {
-	cells  []Cell
-	base   core.Config
-	runner Runner
-	arena  *pipeline.Arena
-	log    *mem.StoreLog
+	cells     []Cell
+	base      core.Config
+	runner    Runner
+	arena     *pipeline.Arena
+	log       *mem.StoreLog
+	ckptEvery int64 // 0 = from-zero; AutoCheckpoint = per-program interval
 }
 
 // fuzzMaxCycles bounds each cell simulation; generated programs execute a
@@ -178,13 +203,41 @@ func (c *Checker) cellConfig(cell Cell) core.Config {
 	return cfg
 }
 
+// reference computes prog's shared reference execution and, when
+// checkpointing is on, the snapshot cells should resume from (the last
+// functional checkpoint the reference captured). With AutoCheckpoint the
+// interval is derived from a first, snapshot-free execution — the reference
+// executor is cheap next to the lattice of timed machines it feeds.
+func (c *Checker) reference(prog *program.Program) (*core.Reference, *checkpoint.Snapshot, error) {
+	if c.ckptEvery == 0 {
+		ref, err := core.ComputeReference(prog, c.base.MaxCycles)
+		return ref, nil, err
+	}
+	every := c.ckptEvery
+	if every == AutoCheckpoint {
+		plain, err := core.ComputeReference(prog, c.base.MaxCycles)
+		if err != nil {
+			return nil, nil, err
+		}
+		every = plain.Result.Instructions / 8
+		if every < 1 {
+			every = 1
+		}
+	}
+	ref, err := core.ComputeReference(prog, c.base.MaxCycles, core.WithCheckpoints(every))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ref, ref.NearestCheckpoint(), nil
+}
+
 // Check runs prog on every lattice cell against one shared reference
 // execution. The returned error is reserved for context cancellation;
 // per-cell failures are data (CheckResult.Divergences), and a reference
 // failure is reported via CheckResult.RefErr.
 func (c *Checker) Check(ctx context.Context, prog *program.Program) (*CheckResult, error) {
 	res := &CheckResult{}
-	ref, err := core.ComputeReference(prog, c.base.MaxCycles)
+	ref, resume, err := c.reference(prog)
 	if err != nil {
 		res.RefErr = err
 		return res, nil
@@ -194,7 +247,7 @@ func (c *Checker) Check(ctx context.Context, prog *program.Program) (*CheckResul
 		if ctx.Err() != nil {
 			return res, ctx.Err()
 		}
-		err := c.runner(ctx, cell, c.cellConfig(cell), prog, ref, c.log)
+		err := c.runner(ctx, cell, c.cellConfig(cell), prog, ref, resume, c.log)
 		if err == nil {
 			continue
 		}
@@ -216,7 +269,7 @@ func (c *Checker) Check(ctx context.Context, prog *program.Program) (*CheckResul
 // the shrinker's interestingness predicate; it stops at the first
 // divergence rather than completing the lattice.
 func (c *Checker) Diverges(ctx context.Context, prog *program.Program) bool {
-	ref, err := core.ComputeReference(prog, c.base.MaxCycles)
+	ref, resume, err := c.reference(prog)
 	if err != nil {
 		return false // a program the reference cannot finish is not a reproducer
 	}
@@ -224,7 +277,7 @@ func (c *Checker) Diverges(ctx context.Context, prog *program.Program) bool {
 		if ctx.Err() != nil {
 			return false
 		}
-		if err := c.runner(ctx, cell, c.cellConfig(cell), prog, ref, c.log); err != nil && ctx.Err() == nil {
+		if err := c.runner(ctx, cell, c.cellConfig(cell), prog, ref, resume, c.log); err != nil && ctx.Err() == nil {
 			return true
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fleaflicker/internal/arch"
+	"fleaflicker/internal/checkpoint"
 	"fleaflicker/internal/core"
 	"fleaflicker/internal/isa"
 	"fleaflicker/internal/mem"
@@ -70,7 +71,7 @@ func loadFeedsXor(p *program.Program) bool {
 // fault lives at the Runner seam so production machine code stays correct;
 // what the test proves is that the checker catches the bug and the shrinker
 // strips a full random program down to the minimal load→xor reproducer.
-func mergeBugRunner(ctx context.Context, cell Cell, cfg core.Config, prog *program.Program, ref *core.Reference, log *mem.StoreLog) error {
+func mergeBugRunner(ctx context.Context, cell Cell, cfg core.Config, prog *program.Program, ref *core.Reference, resume *checkpoint.Snapshot, log *mem.StoreLog) error {
 	if (cell.Model == core.TwoPass || cell.Model == core.TwoPassRegroup) && loadFeedsXor(prog) {
 		return &core.DivergenceError{
 			Model:   cell.Model,
@@ -78,7 +79,7 @@ func mergeBugRunner(ctx context.Context, cell Cell, cfg core.Config, prog *progr
 			Regs:    []arch.RegDiff{{Reg: isa.R(2), Got: 0xdead, Want: 0xbeef}},
 		}
 	}
-	return productionRunner(ctx, cell, cfg, prog, ref, log)
+	return productionRunner(ctx, cell, cfg, prog, ref, resume, log)
 }
 
 func TestInjectedMergeBugIsCaughtAndShrunk(t *testing.T) {

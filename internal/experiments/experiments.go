@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"fleaflicker/internal/arch"
+	"fleaflicker/internal/checkpoint"
 	"fleaflicker/internal/core"
 	"fleaflicker/internal/mem"
 	"fleaflicker/internal/stats"
@@ -47,21 +48,86 @@ func (s *SuiteRuns) Duration(bench string, model core.Model) time.Duration {
 	return s.Durations[bench][model]
 }
 
+// suiteMode selects how runSuite treats the functional reference.
+type suiteMode int
+
+const (
+	suiteUnverified   suiteMode = iota // no reference, no verification
+	suiteVerified                      // one shared reference per benchmark, cells run from zero
+	suiteCheckpointed                  // shared checkpointed reference, cells fast-forward
+)
+
 // RunSuite simulates every benchmark on every model, in parallel. With
-// verified set, each run is checked against the reference executor. When
-// ctx is cancelled, no further jobs launch and the jobs already in flight
-// abort at their machines' next cancellation check. Every per-cell failure
-// is reported (joined with errors.Join), not just the first.
+// verified set, each run is checked against the functional reference
+// executor; the reference runs once per benchmark and is shared across all
+// of that benchmark's model cells. When ctx is cancelled, no further jobs
+// launch and the jobs already in flight abort at their machines' next
+// cancellation check. Every per-cell failure is reported (joined with
+// errors.Join), not just the first.
 func RunSuite(ctx context.Context, cfg core.Config, models []core.Model, benches []*workload.Benchmark, verified bool) (*SuiteRuns, error) {
+	mode := suiteUnverified
+	if verified {
+		mode = suiteVerified
+	}
+	return runSuite(ctx, cfg, models, benches, mode)
+}
+
+// RunSuiteCheckpointed is the verified suite in fast-forward mode: each
+// benchmark's reference execution captures functional checkpoints every 1/8
+// of its dynamic instruction count, and every model cell resumes from the
+// last one, re-simulating only the post-checkpoint suffix before the usual
+// final-state verification. Use it where throughput matters and only the
+// architectural verdict is consumed (CI, pre-merge sweeps); figure-producing
+// runs must stay from-zero, because a resumed run's cycle counts cover only
+// the suffix it actually simulated.
+func RunSuiteCheckpointed(ctx context.Context, cfg core.Config, models []core.Model, benches []*workload.Benchmark) (*SuiteRuns, error) {
+	return runSuite(ctx, cfg, models, benches, suiteCheckpointed)
+}
+
+// suiteReference computes one benchmark's shared reference and, in
+// checkpointed mode, the snapshot its cells resume from. The interval needs
+// the dynamic instruction count, so checkpointed mode runs the (cheap)
+// functional executor twice: once to size the interval, once to capture.
+func suiteReference(b *workload.Benchmark, maxSteps int64, mode suiteMode) (*core.Reference, *checkpoint.Snapshot, error) {
+	if mode != suiteCheckpointed {
+		ref, err := core.ComputeReference(b.Program(), maxSteps)
+		return ref, nil, err
+	}
+	plain, err := core.ComputeReference(b.Program(), maxSteps)
+	if err != nil {
+		return nil, nil, err
+	}
+	every := plain.Result.Instructions / 8
+	if every < 1 {
+		every = 1
+	}
+	ref, err := core.ComputeReference(b.Program(), maxSteps, core.WithCheckpoints(every))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ref, ref.NearestCheckpoint(), nil
+}
+
+func runSuite(ctx context.Context, cfg core.Config, models []core.Model, benches []*workload.Benchmark, mode suiteMode) (*SuiteRuns, error) {
 	out := &SuiteRuns{
 		Config:    cfg,
 		Runs:      make(map[string]map[core.Model]*stats.Run),
 		Durations: make(map[string]map[core.Model]time.Duration),
 	}
+	// refCell lazily computes a benchmark's shared reference: the first model
+	// cell to need it pays the functional execution, the rest reuse it.
+	type refCell struct {
+		once   sync.Once
+		ref    *core.Reference
+		resume *checkpoint.Snapshot
+		err    error
+	}
+	refs := make(map[string]*refCell, len(benches))
 	for _, b := range benches {
 		out.Benchmarks = append(out.Benchmarks, b.Name)
 		out.Runs[b.Name] = make(map[core.Model]*stats.Run)
 		out.Durations[b.Name] = make(map[core.Model]time.Duration)
+		refs[b.Name] = &refCell{}
 	}
 
 	type job struct {
@@ -90,8 +156,21 @@ func RunSuite(ctx context.Context, cfg core.Config, models []core.Model, benches
 				return // cancelled: don't launch this cell
 			}
 			opts := []core.Option{core.WithConfig(cfg)}
-			if verified {
-				opts = append(opts, core.WithVerify())
+			if mode != suiteUnverified {
+				rc := refs[j.bench.Name]
+				rc.once.Do(func() {
+					rc.ref, rc.resume, rc.err = suiteReference(j.bench, cfg.MaxCycles, mode)
+				})
+				if rc.err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("%s/%v: reference: %w", j.bench.Name, j.model, rc.err))
+					mu.Unlock()
+					return
+				}
+				opts = append(opts, core.WithReference(rc.ref))
+				if rc.resume != nil {
+					opts = append(opts, core.ResumeFrom(rc.resume))
+				}
 			}
 			start := time.Now()
 			r, err := core.Simulate(ctx, j.model, j.bench.Program(), opts...)

@@ -23,6 +23,11 @@ const PageBytes = pageSize
 // zero. Timing is modelled separately by Hierarchy; caches hold no data.
 type Image struct {
 	pages map[uint32]*[pageSize]byte
+	// shared marks pages whose storage is co-owned by one or more
+	// ImageSnapshots (copy-on-write): a write to a shared page first faults
+	// it to a private copy. nil (the common case) means no snapshot was ever
+	// taken and the write path pays only a nil map lookup.
+	shared map[uint32]bool
 	// onWrite, when set, observes every Write in call order. The machine
 	// models funnel architectural store commits through Write, so an
 	// observer attached after construction sees exactly the committed-store
@@ -55,9 +60,20 @@ func (m *Image) page(addr uint32, create bool) *[pageSize]byte {
 	}
 	k := addr >> pageBits
 	p := m.pages[k]
-	if p == nil && create {
-		p = new([pageSize]byte)
+	if p == nil {
+		if create {
+			p = new([pageSize]byte)
+			m.pages[k] = p
+		}
+		return p
+	}
+	if create && m.shared != nil && m.shared[k] {
+		// Copy-on-write fault: the page's storage belongs to a snapshot;
+		// give this image a private copy before it is written.
+		np := *p
+		p = &np
 		m.pages[k] = p
+		delete(m.shared, k)
 	}
 	return p
 }
@@ -198,13 +214,30 @@ func (m *Image) Differences(o *Image, max int) []uint32 {
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var zero [pageSize]byte
 	var diffs []uint32
 	for _, k := range keys {
+		pa, pb := m.pages[k], o.pages[k]
+		// Copy-on-write aliasing makes untouched pages pointer-identical
+		// (both images materialized from one snapshot), so most pages of a
+		// checkpoint-resumed run compare in one pointer check; the rest
+		// compare as whole arrays before any per-byte scan.
+		if pa == pb {
+			continue
+		}
+		if pa == nil {
+			pa = &zero
+		}
+		if pb == nil {
+			pb = &zero
+		}
+		if *pa == *pb {
+			continue
+		}
 		base := k << pageBits
-		for i := 0; i < pageSize; i++ {
-			a := base + uint32(i)
-			if m.Byte(a) != o.Byte(a) {
-				diffs = append(diffs, a)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				diffs = append(diffs, base+uint32(i))
 				if len(diffs) >= max {
 					return diffs
 				}

@@ -46,6 +46,16 @@ func (l *StoreLog) Record(addr uint32, size int, v uint64) {
 	l.hash = h
 }
 
+// Seed initializes the log to the state another log had after recording n
+// commits: the resumed run's log then continues exactly where the producer's
+// left off, so a checkpoint-resumed simulation yields the same final log as a
+// from-zero run. The prefix is copied.
+func (l *StoreLog) Seed(prefix []StoreCommit, n int64, hash uint64) {
+	l.prefix = append(l.prefix[:0], prefix...)
+	l.n = n
+	l.hash = hash
+}
+
 // Reset clears the log for reuse, keeping the prefix storage.
 func (l *StoreLog) Reset() {
 	l.prefix = l.prefix[:0]

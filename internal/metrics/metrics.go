@@ -125,6 +125,23 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// RestoreCounter sets the counter registered under name to value, creating
+// it on first use. It exists for checkpoint resume, where counter names come
+// from a serialized snapshot rather than a compile-time constant: the
+// snapshot's names were constants when the producing machine registered
+// them, so restoring cannot mint a new name, only re-seed an existing one
+// (or pre-seed one the resuming machine registers later at the same name).
+func (r *Registry) RestoreCounter(name string, value int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	c.v = value
+}
+
 // Gauge returns the gauge registered under name, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()

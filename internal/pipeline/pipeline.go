@@ -292,6 +292,21 @@ func (f *FrontEnd) Redirect(pc int32, now int64) {
 	f.halted = false
 }
 
+// StreamState returns the dynamic-ID allocator position and the accumulated
+// fetch-stall count, the two pieces of front-end state that survive a
+// Redirect and so must be carried across a machine checkpoint.
+func (f *FrontEnd) StreamState() (nextID uint64, fetchStalls int64) {
+	return f.nextID, f.FetchStallCycles
+}
+
+// RestoreStream reinstates the ID allocator and fetch-stall count captured by
+// StreamState, so a checkpoint-resumed machine numbers its dynamic
+// instructions exactly as the producing run did.
+func (f *FrontEnd) RestoreStream(nextID uint64, fetchStalls int64) {
+	f.nextID = nextID
+	f.FetchStallCycles = fetchStalls
+}
+
 // Stalled reports whether fetch is blocked waiting for an indirect branch to
 // resolve.
 func (f *FrontEnd) Stalled() bool { return f.stalled }

@@ -20,6 +20,7 @@ import (
 
 	"fleaflicker/internal/arch"
 	"fleaflicker/internal/bpred"
+	"fleaflicker/internal/checkpoint"
 	"fleaflicker/internal/isa"
 	"fleaflicker/internal/mem"
 	"fleaflicker/internal/metrics"
@@ -100,7 +101,19 @@ type Machine struct {
 	// the "runahead.entries"/"runahead.insts" registry counters.
 	RunaheadEntries int64
 	RunaheadInsts   int64
+
+	// Checkpoint state (see snapshot.go).
+	retired   int64
+	archPC    int32
+	snapEvery int64
+	nextSnap  int64
+	draining  bool
+	onSnap    func(*checkpoint.Snapshot)
+	resume    *checkpoint.Snapshot
 }
+
+// modelTag identifies run-ahead machine snapshots.
+const modelTag = "runahead"
 
 // New builds a machine over a fresh copy of the program's memory.
 func New(cfg Config, prog *program.Program) (*Machine, error) {
@@ -137,6 +150,7 @@ func (m *Machine) Attach(ctx context.Context, reg *metrics.Registry, tr *trace.T
 
 // Run simulates to completion.
 func (m *Machine) Run() (*stats.Run, error) {
+	m.primeCounters()
 	entries := m.col.Counter("runahead.entries")
 	insts := m.col.Counter("runahead.insts")
 	for !m.halted {
@@ -148,11 +162,24 @@ func (m *Machine) Run() (*stats.Run, error) {
 				return nil, fmt.Errorf("runahead: %q: %w", m.prog.Name, err)
 			}
 		}
-		m.fe.Tick(m.now)
+		if m.draining {
+			// Fetch pauses (and run-ahead entry is suppressed in stepNormal)
+			// until every fetched group has dispatched; then snapshot.
+			if !m.fe.Pending() {
+				m.takeSnapshot()
+				m.fe.Redirect(m.archPC, m.now)
+				m.draining = false
+			}
+		} else {
+			m.fe.Tick(m.now)
+		}
 		if m.inRunahead {
 			m.stepRunahead()
 		} else {
 			m.stepNormal()
+		}
+		if m.snapEvery > 0 && !m.draining && m.retired >= m.nextSnap {
+			m.draining = true
 		}
 		m.now++
 	}
@@ -186,7 +213,10 @@ func (m *Machine) stepNormal() {
 			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvStall, Pipe: trace.PipeA,
 				PC: g.FetchPC, Arg: int64(cls), Note: cls.String()})
 		}
-		if cls == stats.LoadStall && until-m.now > int64(m.cfg.MinStallCycles) {
+		// No run-ahead episodes while draining toward a snapshot barrier:
+		// an episode would keep speculative state (and fetched groups) in
+		// flight past the quiesce point.
+		if cls == stats.LoadStall && until-m.now > int64(m.cfg.MinStallCycles) && !m.draining {
 			m.enterRunahead(g, until)
 		}
 		return
@@ -444,6 +474,7 @@ func (m *Machine) dispatch(g *pipeline.Group) {
 	for _, d := range g.Insts {
 		in := d.In
 		m.col.Instruction()
+		m.retired++
 		if m.tr.Enabled() {
 			m.tr.Emit(trace.Event{Cycle: m.now, Type: trace.EvDispatch, Pipe: trace.PipeA,
 				ID: d.ID, PC: d.PC, Note: in.String()})
@@ -455,6 +486,7 @@ func (m *Machine) dispatch(g *pipeline.Group) {
 			}
 			continue
 		}
+		m.archPC = d.PC + 1
 		if !predOn {
 			continue
 		}
@@ -513,6 +545,7 @@ func (m *Machine) resolveBranch(d *pipeline.DynInst, predOn bool) (squash bool) 
 	if taken {
 		actualNext = target
 	}
+	m.archPC = actualNext
 	pred := m.fe.Predictor()
 	if d.HasCP {
 		pred.Resolve(d.PC, d.CP, d.PredTaken, taken)

@@ -1,0 +1,129 @@
+package runahead
+
+import (
+	"fmt"
+
+	"fleaflicker/internal/checkpoint"
+	"fleaflicker/internal/isa"
+)
+
+// Checkpoint support. Snapshots are taken at drain barriers: while a snapshot
+// is pending, fetch pauses, run-ahead entry is suppressed (an episode would
+// leave speculative state in flight), and once every fetched group has
+// dispatched the machine is quiesced — the run-ahead register copy, poison
+// bits and exit state are all dead outside an episode, so the persistent
+// state is just the scoreboard plus the episode statistics.
+
+const scoreboardSection = "runahead.scoreboard"
+
+// ConfigureSnapshots implements core.Snapshotter.
+func (m *Machine) ConfigureSnapshots(every int64, fn func(*checkpoint.Snapshot)) {
+	m.snapEvery = every
+	m.onSnap = fn
+	m.nextSnap = every
+	for m.nextSnap <= m.retired {
+		m.nextSnap += every
+	}
+}
+
+// RestoreSnapshot implements core.Snapshotter.
+func (m *Machine) RestoreSnapshot(snap *checkpoint.Snapshot) error {
+	if snap.Program != "" && snap.Program != m.prog.Name {
+		return fmt.Errorf("runahead: snapshot is for program %q, machine runs %q", snap.Program, m.prog.Name)
+	}
+	m.st.Regs = snap.Regs
+	m.st.Mem = snap.Mem.Image()
+	m.retired = snap.Retired
+	m.archPC = snap.PC
+	m.resume = snap
+
+	switch snap.Kind {
+	case checkpoint.KindFunctional:
+		m.fe.Redirect(snap.PC, -1)
+		return nil
+	case checkpoint.KindMachine:
+		if snap.Model != modelTag {
+			return fmt.Errorf("runahead: snapshot is from model %q", snap.Model)
+		}
+		m.now = snap.Cycle
+		if err := m.hier.RestoreState(snap.Hier); err != nil {
+			return err
+		}
+		if err := m.fe.Predictor().RestoreState(snap.Pred); err != nil {
+			return err
+		}
+		m.fe.RestoreStream(snap.FeNextID, snap.FeFetchStalls)
+		m.fe.Redirect(snap.PC, snap.Cycle)
+		b, ok := snap.Section(scoreboardSection)
+		if !ok {
+			return fmt.Errorf("runahead: snapshot has no %s section", scoreboardSection)
+		}
+		d := checkpoint.NewDecoder(b)
+		for r := range m.ready {
+			m.ready[r] = d.I64()
+			m.loadProducer[r] = d.Bool()
+		}
+		// The episode totals live in machine fields between registry syncs;
+		// restoring them keeps the end-of-run sync additive.
+		m.RunaheadEntries = d.I64()
+		m.RunaheadInsts = d.I64()
+		return d.Err()
+	}
+	return fmt.Errorf("runahead: unknown snapshot kind %d", snap.Kind)
+}
+
+// primeCounters seeds the registry from a restored snapshot (Run prologue,
+// after Attach).
+func (m *Machine) primeCounters() {
+	if m.resume == nil {
+		return
+	}
+	reg := m.col.Registry()
+	for _, c := range m.resume.Counters {
+		reg.RestoreCounter(c.Name, c.Value)
+	}
+	m.resume = nil
+}
+
+// takeSnapshot captures the quiesced machine at a drain barrier.
+func (m *Machine) takeSnapshot() {
+	// The registry's episode counters lag the machine fields between syncs;
+	// bring them current so the captured counter set is coherent.
+	entries := m.col.Counter("runahead.entries")
+	entries.Add(m.RunaheadEntries - entries.Value())
+	insts := m.col.Counter("runahead.insts")
+	insts.Add(m.RunaheadInsts - insts.Value())
+
+	s := &checkpoint.Snapshot{
+		Kind:    checkpoint.KindMachine,
+		Model:   modelTag,
+		Program: m.prog.Name,
+		Cycle:   m.now,
+		Retired: m.retired,
+		PC:      m.archPC,
+		Regs:    m.st.Regs,
+		Mem:     m.st.Mem.Snapshot(),
+		Hier:    m.hier.CaptureState(),
+		Pred:    m.fe.Predictor().CaptureState(),
+	}
+	s.FeNextID, s.FeFetchStalls = m.fe.StreamState()
+	var cs []checkpoint.Counter
+	m.col.Registry().EachCounter(func(name string, value int64) {
+		cs = append(cs, checkpoint.Counter{Name: name, Value: value})
+	})
+	s.SetCounters(cs)
+	e := checkpoint.NewEncoder(isa.NumRegs*9 + 16)
+	for r := range m.ready {
+		e.I64(m.ready[r])
+		e.Bool(m.loadProducer[r])
+	}
+	e.I64(m.RunaheadEntries)
+	e.I64(m.RunaheadInsts)
+	s.AddSection(scoreboardSection, e.Bytes())
+	for m.nextSnap <= m.retired {
+		m.nextSnap += m.snapEvery
+	}
+	if m.onSnap != nil {
+		m.onSnap(s)
+	}
+}

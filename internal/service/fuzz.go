@@ -28,6 +28,11 @@ type FuzzSpec struct {
 	// Shrink minimizes diverging programs into reproducers (reported as
 	// .flea text in the unit result).
 	Shrink bool `json:"shrink,omitempty"`
+	// Checkpoint fans each program's lattice cells out from the reference
+	// execution's last functional checkpoint instead of from cycle zero
+	// (diffsim.AutoCheckpoint interval): same architectural verdicts on the
+	// replayed suffix, a fraction of the simulation work.
+	Checkpoint bool `json:"checkpoint,omitempty"`
 }
 
 // defaultFuzzChunk is the FuzzSpec.ChunkSize default: small enough that a
@@ -38,10 +43,11 @@ const defaultFuzzChunk = 50
 // FuzzUnit is one chunk of a fuzz campaign: the resolved per-unit
 // parameters, part of the unit's cache key.
 type FuzzUnit struct {
-	SeedBase int64 `json:"seed_base"`
-	Programs int   `json:"programs"`
-	Smoke    bool  `json:"smoke,omitempty"`
-	Shrink   bool  `json:"shrink,omitempty"`
+	SeedBase   int64 `json:"seed_base"`
+	Programs   int   `json:"programs"`
+	Smoke      bool  `json:"smoke,omitempty"`
+	Shrink     bool  `json:"shrink,omitempty"`
+	Checkpoint bool  `json:"checkpoint,omitempty"`
 }
 
 // FuzzFinding is one diverging program in a unit's report.
@@ -103,10 +109,11 @@ func (s *JobSpec) expandFuzz() ([]UnitSpec, error) {
 			Bench:     fmt.Sprintf("seeds[%d,%d)", base, base+int64(n)),
 			Seed:      s.Seed,
 			Fuzz: &FuzzUnit{
-				SeedBase: base,
-				Programs: n,
-				Smoke:    s.Fuzz.Smoke,
-				Shrink:   s.Fuzz.Shrink,
+				SeedBase:   base,
+				Programs:   n,
+				Smoke:      s.Fuzz.Smoke,
+				Shrink:     s.Fuzz.Shrink,
+				Checkpoint: s.Fuzz.Checkpoint,
 			},
 		})
 	}
@@ -133,12 +140,17 @@ func defaultFuzzRunner(ctx context.Context, u UnitSpec) (*FuzzReport, error) {
 	if fz.Smoke {
 		cells = diffsim.SmokeLattice()
 	}
+	var ckpt int64
+	if fz.Checkpoint {
+		ckpt = diffsim.AutoCheckpoint
+	}
 	st, err := diffsim.RunCampaign(ctx, diffsim.CampaignConfig{
-		SeedBase: fz.SeedBase,
-		Programs: fz.Programs,
-		Gen:      fuzzGen(fz.Smoke),
-		Cells:    cells,
-		Shrink:   fz.Shrink,
+		SeedBase:        fz.SeedBase,
+		Programs:        fz.Programs,
+		Gen:             fuzzGen(fz.Smoke),
+		Cells:           cells,
+		Shrink:          fz.Shrink,
+		CheckpointEvery: ckpt,
 	})
 	if err != nil {
 		return nil, err

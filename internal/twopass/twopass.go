@@ -29,6 +29,7 @@ import (
 
 	"fleaflicker/internal/arch"
 	"fleaflicker/internal/bpred"
+	"fleaflicker/internal/checkpoint"
 	"fleaflicker/internal/isa"
 	"fleaflicker/internal/mem"
 	"fleaflicker/internal/metrics"
@@ -248,6 +249,17 @@ type Machine struct {
 	// mechanism tests attach sinks through Attach.
 	tr  *trace.Tracer
 	ctx context.Context
+
+	// Checkpoint state (see snapshot.go). retired counts architecturally
+	// retired (B-pipe) instructions; archPC tracks the next architectural PC
+	// so a drain barrier knows where to restart fetch.
+	retired   int64
+	archPC    int32
+	snapEvery int64
+	nextSnap  int64
+	draining  bool
+	onSnap    func(*checkpoint.Snapshot)
+	resume    *checkpoint.Snapshot
 }
 
 // New builds a machine over a fresh copy of the program's memory.
@@ -307,6 +319,7 @@ func (m *Machine) Attach(ctx context.Context, reg *metrics.Registry, tr *trace.T
 
 // Run simulates to completion and returns the measurements.
 func (m *Machine) Run() (*stats.Run, error) {
+	m.primeCounters()
 	for !m.halted {
 		if m.now >= m.cfg.MaxCycles {
 			return nil, fmt.Errorf("twopass: %q exceeded %d cycles", m.prog.Name, m.cfg.MaxCycles)
@@ -316,10 +329,25 @@ func (m *Machine) Run() (*stats.Run, error) {
 				return nil, fmt.Errorf("twopass: %q: %w", m.prog.Name, err)
 			}
 		}
-		m.fe.Tick(m.now)
+		if m.draining {
+			// Fetch pauses until both queues empty — every dispatched
+			// instruction has passed the B-pipe and the speculative
+			// structures (store buffer, ALAT entries, A-file checkpoints)
+			// are empty by construction. Then snapshot and refetch.
+			if !m.fe.Pending() && m.cq.len() == 0 {
+				m.takeSnapshot()
+				m.fe.Redirect(m.archPC, m.now)
+				m.draining = false
+			}
+		} else {
+			m.fe.Tick(m.now)
+		}
 		m.stepA()
 		m.stepB()
 		m.col.CQOccupancy(m.cqCount)
+		if m.snapEvery > 0 && !m.draining && m.retired >= m.nextSnap {
+			m.draining = true
+		}
 		m.now++
 	}
 	r := m.col.Snapshot(m.hier.Stats())
