@@ -3,19 +3,31 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench bench-json bench-smoke ckpt-smoke race-service fuzz-smoke fuzz
+.PHONY: ci vet lint gcassert build test race bench bench-json bench-smoke ckpt-smoke race-service fuzz-smoke fuzz
 
-ci: vet lint build race bench-smoke ckpt-smoke fuzz-smoke
+ci: vet lint gcassert build race bench-smoke ckpt-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
 
 # lint runs the repository's domain-specific analyzers (cmd/flealint) over
-# the module via the vet driver: allocation-free hot paths, determinism,
-# guarded tracing, arena discipline, unique metric names.
+# every package via the vet driver. AST passes: allocation-free hot paths,
+# determinism, guarded tracing, arena discipline, unique metric names.
+# Dataflow passes (v2): snapshot page-alias safety, drain-barrier snapshot
+# protocol, //flea:guardedby lock discipline, context-polling loops. The
+# per-analyzer package scopes live in internal/analysis/scope, whose
+# completeness test keeps them in sync with `go list ./internal/...`.
 lint:
 	$(GO) build -o bin/flealint ./cmd/flealint
 	$(GO) vet -vettool=bin/flealint ./...
+
+# gcassert verifies the compiler-fact assertions: every //flea:inline,
+# //flea:noescape and //flea:bce directive is checked against the gc
+# compiler's -m / -d=ssa/check_bce diagnostics, so a hot path that stops
+# inlining or regrows a bounds check fails the build rather than only the
+# benchmarks.
+gcassert:
+	$(GO) run ./cmd/fleagcassert
 
 build:
 	$(GO) build ./...

@@ -20,9 +20,43 @@
 //	                      reassigns a DynInst slice whose records are owned
 //	                      elsewhere; arenadiscipline accepts it.
 //
+// The flealint v2 (SSA/dataflow) vocabulary:
+//
+//	//flea:guardedby(mu)  this struct field may only be accessed while the
+//	                      sibling mutex field mu is held; guardedby checks
+//	                      every access against a must-hold lockset.
+//	//flea:atomic         this struct field may only be accessed through
+//	                      sync/atomic operations (or is itself an atomic.*
+//	                      type, whose methods are the only access path).
+//	//flea:locked(mu)     this function's caller already holds the receiver's
+//	                      mutex field mu; guardedby seeds the lockset with it.
+//	//flea:bounded        the next (or same-line) loop terminates by
+//	                      construction (drains admitted work, closed-queue
+//	                      handshake); ctxloop accepts it without a ctx poll.
+//	//flea:specentry      this method begins a speculative episode (run-ahead
+//	                      entry); snapshotprotocol requires every call to be
+//	                      guarded by !draining.
+//	//flea:cowfault       this function implements the copy-on-write page
+//	                      fault: the page reference it returns is private to
+//	                      the caller, so snapshotalias permits stores through
+//	                      it.
+//
+// The compiler-fact vocabulary, checked by cmd/fleagcassert against
+// `go build -gcflags='-m -d=ssa/check_bce'` output rather than by a
+// go/analysis pass:
+//
+//	//flea:inline         the function must stay inlinable ("can inline").
+//	//flea:noescape       no value in the function's body may escape to the
+//	                      heap (no "escapes to heap" / "moved to heap").
+//	//flea:bce            every bounds check in the function must be
+//	                      eliminated (no "Found IsInBounds" /
+//	                      "Found IsSliceInBounds").
+//
 // A directive attaches to a function when it appears anywhere in the doc
 // comment block, and to a statement when it appears on the statement's first
-// line or the line immediately above it.
+// line or the line immediately above it. A struct-field directive sits in
+// the field's doc comment or as its trailing line comment. Directives taking
+// an argument write it in parentheses with no spaces: //flea:guardedby(mu).
 package annotation
 
 import (
@@ -39,6 +73,15 @@ const (
 	OrderInvariant = "orderinvariant"
 	TraceOnly      = "traceonly"
 	Handoff        = "handoff"
+	GuardedBy      = "guardedby"
+	Atomic         = "atomic"
+	Locked         = "locked"
+	Bounded        = "bounded"
+	SpecEntry      = "specentry"
+	CowFault       = "cowfault"
+	Inline         = "inline"
+	NoEscape       = "noescape"
+	BCE            = "bce"
 )
 
 // Prefix is the comment prefix shared by all flealint directives.
@@ -50,63 +93,101 @@ type markKey struct {
 	name string
 }
 
-// Marks indexes every //flea: directive in a set of files by file and line.
+// Marks indexes every //flea: directive in a set of files by file and line,
+// remembering the directive's parenthesized argument (if any).
 type Marks struct {
 	fset   *token.FileSet
-	byLine map[markKey]bool
+	byLine map[markKey]string
 }
 
 // Gather scans the comments of files (which must have been parsed with
 // parser.ParseComments) for //flea: directives.
 func Gather(fset *token.FileSet, files []*ast.File) *Marks {
-	m := &Marks{fset: fset, byLine: make(map[markKey]bool)}
+	m := &Marks{fset: fset, byLine: make(map[markKey]string)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, ok := directiveName(c.Text)
+				name, arg, ok := ParseDirective(c.Text)
 				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				m.byLine[markKey{pos.Filename, pos.Line, name}] = true
+				m.byLine[markKey{pos.Filename, pos.Line, name}] = arg
 			}
 		}
 	}
 	return m
 }
 
-// directiveName extracts the directive name from a comment text like
-// "//flea:hotpath (explanation)".
-func directiveName(text string) (string, bool) {
+// ParseDirective extracts the directive name and optional parenthesized
+// argument from a comment text like "//flea:hotpath (explanation)" or
+// "//flea:guardedby(mu)".
+func ParseDirective(text string) (name, arg string, ok bool) {
 	rest, ok := strings.CutPrefix(text, Prefix)
 	if !ok {
-		return "", false
+		return "", "", false
 	}
 	if i := strings.IndexAny(rest, " \t"); i >= 0 {
 		rest = rest[:i]
 	}
-	return rest, rest != ""
+	if open := strings.IndexByte(rest, '('); open >= 0 && strings.HasSuffix(rest, ")") {
+		name, arg = rest[:open], rest[open+1:len(rest)-1]
+	} else {
+		name = rest
+	}
+	return name, arg, name != ""
 }
 
 // Marked reports whether node n carries the named directive: on n's first
 // line (a trailing comment) or on the line immediately above it.
 func (m *Marks) Marked(n ast.Node, name string) bool {
+	_, ok := m.MarkedArg(n, name)
+	return ok
+}
+
+// MarkedArg is Marked plus the directive's parenthesized argument.
+func (m *Marks) MarkedArg(n ast.Node, name string) (arg string, ok bool) {
 	pos := m.fset.Position(n.Pos())
-	return m.byLine[markKey{pos.Filename, pos.Line, name}] ||
-		m.byLine[markKey{pos.Filename, pos.Line - 1, name}]
+	if arg, ok := m.byLine[markKey{pos.Filename, pos.Line, name}]; ok {
+		return arg, true
+	}
+	arg, ok = m.byLine[markKey{pos.Filename, pos.Line - 1, name}]
+	return arg, ok
 }
 
 // FuncMarked reports whether a function declaration carries the named
 // directive, in its doc comment or directly above its first line.
 func (m *Marks) FuncMarked(fd *ast.FuncDecl, name string) bool {
+	_, ok := m.FuncMarkedArg(fd, name)
+	return ok
+}
+
+// FuncMarkedArg is FuncMarked plus the directive's parenthesized argument.
+func (m *Marks) FuncMarkedArg(fd *ast.FuncDecl, name string) (string, bool) {
 	if fd.Doc != nil {
 		for _, c := range fd.Doc.List {
-			if got, ok := directiveName(c.Text); ok && got == name {
-				return true
+			if got, arg, ok := ParseDirective(c.Text); ok && got == name {
+				return arg, true
 			}
 		}
 	}
-	return m.Marked(fd, name)
+	return m.MarkedArg(fd, name)
+}
+
+// FieldMarkedArg reports whether a struct field carries the named directive
+// in its doc comment, its trailing line comment, or on its own line.
+func (m *Marks) FieldMarkedArg(field *ast.Field, name string) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if got, arg, ok := ParseDirective(c.Text); ok && got == name {
+				return arg, true
+			}
+		}
+	}
+	return m.MarkedArg(field, name)
 }
 
 // IsTestFile reports whether the file a position belongs to is a _test.go
@@ -150,6 +231,53 @@ func IsNamed(t types.Type, pkgBase, name string) bool {
 	}
 	p := obj.Pkg().Path()
 	return p == pkgBase || strings.HasSuffix(p, "/"+pkgBase) || obj.Pkg().Name() == pkgBase
+}
+
+// IsStdNamed reports whether t — after stripping pointers and aliases — is
+// the named (or interface-named) type pkgPath.name from the standard
+// library, matched by exact import path.
+func IsStdNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsMutex reports whether t is sync.Mutex or sync.RWMutex, possibly behind a
+// pointer.
+func IsMutex(t types.Type) bool {
+	return IsStdNamed(t, "sync", "Mutex") || IsStdNamed(t, "sync", "RWMutex")
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	return IsStdNamed(t, "context", "Context")
+}
+
+// IsAtomicType reports whether t is one of the sync/atomic value types
+// (atomic.Int64, atomic.Uint32, atomic.Bool, atomic.Pointer, ...), whose
+// methods are the only access path to the underlying word.
+func IsAtomicType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
 }
 
 // IsEnabledGuard reports whether cond contains a call x.Enabled() where x is

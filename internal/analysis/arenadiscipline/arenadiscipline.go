@@ -29,19 +29,8 @@ import (
 	"golang.org/x/tools/go/analysis"
 
 	"fleaflicker/internal/analysis/annotation"
+	"fleaflicker/internal/analysis/scope"
 )
-
-// machinePackages are the package-path suffixes through which DynInst
-// ownership flows.
-var machinePackages = []string{
-	"internal/pipeline",
-	"internal/twopass",
-	"internal/runahead",
-	"internal/baseline",
-	// Snapshot capture/restore runs inside the machines' cycle loops (at
-	// drain barriers), so it is held to the same ownership rules.
-	"internal/checkpoint",
-}
 
 // Analyzer is the arenadiscipline analysis.
 var Analyzer = &analysis.Analyzer{
@@ -51,7 +40,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if !annotation.PkgIn(pass.Pkg, machinePackages...) {
+	if !annotation.PkgIn(pass.Pkg, scope.Arena...) {
 		return nil, nil
 	}
 	marks := annotation.Gather(pass.Fset, pass.Files)

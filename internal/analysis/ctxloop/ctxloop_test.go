@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"fleaflicker/internal/analysis/analyzertest"
+	"fleaflicker/internal/analysis/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxloop.Analyzer, "internal/service")
+}

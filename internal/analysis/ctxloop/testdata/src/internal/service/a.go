@@ -1,0 +1,103 @@
+// Package service exercises ctxloop: worker and cycle loops with and
+// without context polls, //flea:bounded exemptions, and the loop shapes the
+// analyzer deliberately ignores.
+package service
+
+import "context"
+
+type queue struct {
+	items  []int
+	closed bool
+}
+
+func (q *queue) get() (int, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Machine models a cycle loop driven by a halted flag.
+type Machine struct {
+	halted bool
+	now    int64
+	ctx    context.Context
+}
+
+// goodCycleLoop polls its context inside the field-condition loop.
+func (m *Machine) goodCycleLoop() error {
+	for !m.halted {
+		if m.ctx != nil && m.now&4095 == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		m.now++
+	}
+	return nil
+}
+
+// goodWorkerSelect polls through a select on ctx.Done.
+func goodWorkerSelect(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case w := <-work:
+			_ = w
+		}
+	}
+}
+
+// goodBoundedDrain is exempt by annotation: the queue close is the bound.
+func goodBoundedDrain(q *queue) int {
+	sum := 0
+	//flea:bounded the queue is closed before drain; get returns false once empty
+	for {
+		v, ok := q.get()
+		if !ok {
+			return sum
+		}
+		sum += v
+	}
+}
+
+// goodCounted loops with loop-local progress: not checked.
+func goodCounted(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+// badWorker spins on the queue with no poll and no bound.
+func badWorker(ctx context.Context, q *queue) int {
+	sum := 0
+	for { // want "unbounded loop never polls its context"
+		v, ok := q.get()
+		if !ok {
+			continue
+		}
+		sum += v
+	}
+}
+
+// badCycleLoop runs until another goroutine flips the flag, unheeding.
+func (m *Machine) badCycleLoop() {
+	for !m.halted { // want "unbounded loop never polls its context"
+		m.now++
+	}
+}
+
+// badFuncLitPoll polls only inside a nested literal, which runs on its own
+// schedule and proves nothing about this loop.
+func badFuncLitPoll(ctx context.Context) {
+	for { // want "unbounded loop never polls its context"
+		go func() {
+			_ = ctx.Err()
+		}()
+	}
+}

@@ -1,0 +1,38 @@
+// Package pkg is a gcassert scanner fixture: a mix of annotated and plain
+// declarations, including a method whose rendered name must match the
+// compiler's (*T).Name shape.
+package pkg
+
+// Buf is a fixed page-like buffer.
+type Buf struct {
+	b [64]byte
+}
+
+// At returns the byte at a masked index.
+//
+//flea:inline
+//flea:bce
+func (p *Buf) At(i int) byte {
+	return p.b[i&63]
+}
+
+// Fill stores v everywhere.
+//
+//flea:noescape
+func (p *Buf) Fill(v byte) {
+	for i := range p.b {
+		p.b[i] = v
+	}
+}
+
+// Grow is annotated but allocates: the checker must flag it when the
+// synthetic compiler output says so.
+//
+//flea:inline
+//flea:noescape
+func Grow(n int) []byte {
+	return make([]byte, n)
+}
+
+// plain carries no directives and must not produce assertions.
+func plain() int { return 1 }

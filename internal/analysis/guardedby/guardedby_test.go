@@ -1,0 +1,13 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"fleaflicker/internal/analysis/analyzertest"
+	"fleaflicker/internal/analysis/guardedby"
+)
+
+func TestGuardedby(t *testing.T) {
+	analyzertest.Run(t, "testdata", guardedby.Analyzer,
+		"internal/service", "internal/metrics")
+}

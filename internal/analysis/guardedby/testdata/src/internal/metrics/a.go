@@ -1,0 +1,42 @@
+// Package metrics exercises guardedby's //flea:atomic discipline: fields of
+// sync/atomic value types accessed only through their methods, plain fields
+// driven through sync/atomic package functions, and violations of both.
+package metrics
+
+import "sync/atomic"
+
+// SharedCounter models the concurrency-safe counter family.
+type SharedCounter struct {
+	v atomic.Int64 //flea:atomic
+}
+
+// Inc adds one through the atomic method: sanctioned.
+func (c *SharedCounter) Inc() { c.v.Add(1) }
+
+// Value loads through the atomic method: sanctioned.
+func (c *SharedCounter) Value() int64 { return c.v.Load() }
+
+// Clone copies the atomic value wholesale, tearing the word.
+func (c *SharedCounter) Clone() atomic.Int64 {
+	return c.v // want "field v is //flea:atomic and may only be accessed through sync/atomic operations"
+}
+
+// WordCounter models the pre-atomic.Int64 idiom: a plain word driven
+// through sync/atomic package functions.
+type WordCounter struct {
+	//flea:atomic
+	n int64
+}
+
+// Add goes through atomic.AddInt64 with the field's address: sanctioned.
+func (c *WordCounter) Add(d int64) { atomic.AddInt64(&c.n, d) }
+
+// Read uses a plain load where others write atomically: a data race.
+func (c *WordCounter) Read() int64 {
+	return c.n // want "field n is //flea:atomic and may only be accessed through sync/atomic operations"
+}
+
+// Reset stores without atomics.
+func (c *WordCounter) Reset() {
+	c.n = 0 // want "field n is //flea:atomic"
+}

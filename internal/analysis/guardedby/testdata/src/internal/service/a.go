@@ -1,0 +1,106 @@
+// Package service exercises guardedby's lockset analysis: a manager with
+// //flea:guardedby fields, compliant and violating access paths, direct and
+// deferred unlocks, //flea:locked helpers, and fresh-construction exemption.
+package service
+
+import "sync"
+
+// Manager models the serving layer's job manager.
+type Manager struct {
+	mu sync.Mutex
+	// jobs is the live job table.
+	//flea:guardedby(mu)
+	jobs map[string]int
+	//flea:guardedby(mu)
+	nextID uint64
+
+	submitMu sync.Mutex
+	draining bool //flea:guardedby(submitMu)
+
+	limit int // immutable after construction; no annotation
+}
+
+// New constructs a manager: fields of the still-private value may be
+// initialized without the lock.
+func New() *Manager {
+	m := &Manager{jobs: make(map[string]int)}
+	m.nextID = 1
+	m.jobs["warm"] = 0
+	return m
+}
+
+// goodDefer uses the canonical lock/defer-unlock pattern; the deferred
+// unlock releases at return, not mid-body.
+func (m *Manager) goodDefer() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	return m.nextID
+}
+
+// goodDirect locks and unlocks inline; accesses between are covered.
+func (m *Manager) goodDirect(id string) {
+	m.mu.Lock()
+	m.jobs[id] = 1
+	m.nextID++
+	m.forgetLocked()
+	m.mu.Unlock()
+}
+
+// forgetLocked is called with m.mu held.
+//
+//flea:locked(mu)
+func (m *Manager) forgetLocked() {
+	for id := range m.jobs {
+		if m.jobs[id] == 0 {
+			delete(m.jobs, id)
+			break
+		}
+	}
+}
+
+// goodTwoLocks: each field checks against its own mutex.
+func (m *Manager) goodTwoLocks() bool {
+	m.submitMu.Lock()
+	d := m.draining
+	m.submitMu.Unlock()
+	return d
+}
+
+// badUnlocked reads a guarded field with no lock at all.
+func (m *Manager) badUnlocked() int {
+	return len(m.jobs) // want "field jobs is //flea:guardedby\\(mu\\) but mu is not provably held"
+}
+
+// badAfterUnlock touches the field after the direct unlock released it.
+func (m *Manager) badAfterUnlock() {
+	m.mu.Lock()
+	m.nextID++
+	m.mu.Unlock()
+	m.nextID++ // want "field nextID is //flea:guardedby\\(mu\\) but mu is not provably held"
+}
+
+// badWrongLock holds the other mutex.
+func (m *Manager) badWrongLock() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining // want "field draining is //flea:guardedby\\(submitMu\\) but submitMu is not provably held"
+}
+
+// badOneBranch locks on only one path; the join keeps only locks held on
+// every incoming path.
+func (m *Manager) badOneBranch(lock bool) {
+	if lock {
+		m.mu.Lock()
+	}
+	m.nextID++ // want "field nextID is //flea:guardedby\\(mu\\) but mu is not provably held"
+	if lock {
+		m.mu.Unlock()
+	}
+}
+
+// badHelperUnmarked accesses guarded state without lock or a //flea:locked
+// contract.
+func (m *Manager) badHelperUnmarked() {
+	delete(m.jobs, "x") // want "field jobs is //flea:guardedby\\(mu\\)"
+}

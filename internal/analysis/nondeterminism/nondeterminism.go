@@ -25,28 +25,12 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 
 	"fleaflicker/internal/analysis/annotation"
+	"fleaflicker/internal/analysis/scope"
 )
 
-// simulationPackages are the package-path suffixes whose state or output is
-// part of the deterministic simulation contract.
-var simulationPackages = []string{
-	"internal/pipeline",
-	"internal/twopass",
-	"internal/runahead",
-	"internal/baseline",
-	"internal/core",
-	"internal/mem",
-	"internal/stats",
-	// The fuzzing subsystem is part of the determinism contract too: a
-	// campaign verdict and every generated program must be a pure function
-	// of (seed, config), or corpus seeds and shrunk reproducers lose their
-	// meaning.
-	"internal/progen",
-	"internal/diffsim",
-	// Checkpoints must serialize byte-identically for a given machine state:
-	// snapshot hashes and resumed-run equivalence both depend on it.
-	"internal/checkpoint",
-}
+// The simulation-package scope lives in the central registry
+// (internal/analysis/scope), whose completeness test guarantees new
+// packages cannot silently escape this analyzer.
 
 // constructors are the math/rand package-level functions that build an
 // explicitly seeded generator rather than drawing from the global source.
@@ -64,7 +48,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if !annotation.PkgIn(pass.Pkg, simulationPackages...) {
+	if !annotation.PkgIn(pass.Pkg, scope.Simulation...) {
 		return nil, nil
 	}
 	marks := annotation.Gather(pass.Fset, pass.Files)

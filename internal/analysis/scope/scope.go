@@ -1,0 +1,116 @@
+// Package scope is the single registry of which repository packages each
+// flealint analyzer polices. The per-analyzer lists used to live inside the
+// analyzers themselves, where a new package (internal/checkpoint, once) had
+// to be added by hand to every relevant list — and silently escaped analysis
+// until someone remembered. Centralizing the lists does two things:
+//
+//   - one place to extend when a subsystem grows (the model-zoo machines the
+//     ROADMAP plans will each add one line here, not one per analyzer), and
+//   - a completeness check (TestScopeCoversRepository) that enumerates the
+//     module's internal packages with `go list` and fails when any package
+//     is in no scope list and not explicitly exempted — so a package can
+//     never again escape analysis without a recorded decision.
+//
+// Lists hold package-path suffixes (matched by annotation.PkgIn), which lets
+// analyzertest fixtures under testdata/src/internal/... stand in for the
+// real packages.
+package scope
+
+// Simulation packages participate in the byte-determinism contract: their
+// state or output must be a pure function of (program, config, seed).
+// Policed by nondeterminism.
+var Simulation = []string{
+	"internal/pipeline",
+	"internal/twopass",
+	"internal/runahead",
+	"internal/baseline",
+	"internal/core",
+	"internal/mem",
+	"internal/stats",
+	// The fuzzing subsystem is part of the determinism contract too: a
+	// campaign verdict and every generated program must be a pure function
+	// of (seed, config), or corpus seeds and shrunk reproducers lose their
+	// meaning.
+	"internal/progen",
+	"internal/diffsim",
+	// Checkpoints must serialize byte-identically for a given machine state:
+	// snapshot hashes and resumed-run equivalence both depend on it.
+	"internal/checkpoint",
+}
+
+// Arena packages are those through which pipeline.DynInst ownership flows.
+// Policed by arenadiscipline.
+var Arena = []string{
+	"internal/pipeline",
+	"internal/twopass",
+	"internal/runahead",
+	"internal/baseline",
+	// Snapshot capture/restore runs inside the machines' cycle loops (at
+	// drain barriers), so it is held to the same ownership rules.
+	"internal/checkpoint",
+}
+
+// Traced packages carry a nil-by-default *trace.Tracer and must guard every
+// emission. Policed by traceguard.
+var Traced = []string{
+	"internal/pipeline",
+	"internal/twopass",
+	"internal/runahead",
+	"internal/baseline",
+	"internal/core",
+	"internal/mem",
+	"internal/experiments",
+}
+
+// Stats packages own the canonical metric-name constants. Policed by
+// statname (whose uniqueness check additionally runs everywhere).
+var Stats = []string{
+	"internal/stats",
+}
+
+// Snapshotting packages take, serialize, materialize, or restore
+// copy-on-write memory snapshots. Policed by snapshotalias (page-alias
+// dataflow) and snapshotprotocol (drain-barrier discipline).
+var Snapshotting = []string{
+	"internal/mem",
+	"internal/checkpoint",
+	"internal/twopass",
+	"internal/runahead",
+	"internal/baseline",
+	"internal/core",
+	"internal/diffsim",
+}
+
+// Guarded packages annotate shared mutable state with //flea:guardedby and
+// //flea:atomic. Policed by guardedby.
+var Guarded = []string{
+	"internal/service",
+	"internal/metrics",
+}
+
+// Looping packages run unbounded cycle or worker loops that must stay
+// cancellable. Policed by ctxloop.
+var Looping = []string{
+	"internal/pipeline",
+	"internal/twopass",
+	"internal/runahead",
+	"internal/baseline",
+	"internal/core",
+	"internal/service",
+	"internal/diffsim",
+	"internal/experiments",
+}
+
+// Exempt records the internal packages deliberately outside every analyzer
+// scope, with the reason. TestScopeCoversRepository fails on any internal
+// package neither scoped nor exempted.
+var Exempt = map[string]string{
+	"internal/isa":      "pure value types and instruction semantics; no state, no loops, no shared data",
+	"internal/arch":     "thin architectural-state struct over mem.Image; mutated only through scoped machine packages",
+	"internal/bpred":    "deterministic table-indexed predictor; no maps, clocks, or shared state",
+	"internal/sched":    "compile-time program transforms (if-conversion, regrouping); runs before simulation",
+	"internal/program":  "program container and .flea codec; deterministic by construction via sorted encoders",
+	"internal/workload": "static kernel definitions; compile-time program builders only",
+	"internal/trace":    "the tracing substrate itself; its sinks are mutex-per-sink and exercised under -race",
+	"internal/analysis": "the analyzers and their harness; run at development time, not in the simulator",
+}

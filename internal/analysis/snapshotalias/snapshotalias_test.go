@@ -1,0 +1,13 @@
+package snapshotalias_test
+
+import (
+	"testing"
+
+	"fleaflicker/internal/analysis/analyzertest"
+	"fleaflicker/internal/analysis/snapshotalias"
+)
+
+func TestSnapshotalias(t *testing.T) {
+	analyzertest.Run(t, "testdata", snapshotalias.Analyzer,
+		"internal/mem", "internal/checkpoint")
+}

@@ -1,0 +1,46 @@
+// Package checkpoint models the real internal/checkpoint codec for the
+// snapshotprotocol fixtures. It is itself in the analyzer's Snapshotting
+// scope but declares no ConfigureSnapshots method, so building Snapshot
+// values here — the package's ordinary business — reports nothing.
+package checkpoint
+
+// Snapshot is a serialized point-in-time machine state.
+type Snapshot struct {
+	Retired  int64
+	PC       int64
+	sections map[string][]byte
+}
+
+// AddSection attaches a named opaque state section.
+func (s *Snapshot) AddSection(name string, b []byte) {
+	if s.sections == nil {
+		s.sections = make(map[string][]byte)
+	}
+	s.sections[name] = b
+}
+
+// Encoder serializes machine state into a byte section.
+type Encoder struct{ buf []byte }
+
+// NewEncoder returns an encoder with capacity n.
+func NewEncoder(n int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, n)}
+}
+
+// I64 appends a fixed-width integer.
+func (e *Encoder) I64(v int64) {
+	for i := 0; i < 8; i++ {
+		e.buf = append(e.buf, byte(v>>(8*i)))
+	}
+}
+
+// Bytes returns the encoded section.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// clone is a helper whose Snapshot literal is fine here: no snapshotter
+// protocol applies to the codec package itself.
+func clone(s *Snapshot) *Snapshot {
+	return &Snapshot{Retired: s.Retired, PC: s.PC}
+}
+
+var _ = clone

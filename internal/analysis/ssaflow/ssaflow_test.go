@@ -1,0 +1,158 @@
+package ssaflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const src = `package p
+
+func f(c bool) {
+	a := 1
+	if c {
+		b := 2
+		_ = b
+	} else {
+		b := 3
+		c := 4
+		_, _ = b, c
+	}
+	sink()
+	_ = a
+}
+
+func sink() {}
+`
+
+// mustAssigned is a must-analysis: the set of variable names assigned on
+// every path. Join is set intersection.
+type mustAssigned map[string]bool
+
+func (m mustAssigned) Clone() State {
+	c := make(mustAssigned, len(m))
+	for k := range m {
+		c[k] = true
+	}
+	return c
+}
+
+func (m mustAssigned) Join(other State) bool {
+	o := other.(mustAssigned)
+	changed := false
+	for k := range m {
+		if !o[k] {
+			delete(m, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func transfer(s State, n ast.Node) {
+	m := s.(mustAssigned)
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			m[id.Name] = true
+		}
+	}
+}
+
+// TestForwardMustIntersection checks the worklist solver computes a correct
+// must-analysis across an if/else join: `a` and `b` are assigned on every
+// path into the block containing sink(), `c` only on the else path.
+func TestForwardMustIntersection(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	g := New(fd.Body)
+
+	in := g.Forward(mustAssigned{}, transfer)
+	var atSink mustAssigned
+	g.Walk(in, transfer, func(s State, n ast.Node) {
+		if call, ok := callNamed(n, "sink"); ok && call {
+			atSink = s.Clone().(mustAssigned)
+		}
+	})
+	if atSink == nil {
+		t.Fatal("sink() call not visited")
+	}
+	for _, want := range []string{"a", "b"} {
+		if !atSink[want] {
+			t.Errorf("%q not in must-assigned set at sink(); got %v", want, atSink)
+		}
+	}
+	if atSink["c"] {
+		t.Errorf("branch-local %q leaked into the must-assigned set %v", "c", atSink)
+	}
+}
+
+func callNamed(n ast.Node, name string) (bool, bool) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == name, true
+}
+
+// TestLockKey checks selector-chain resolution and root-identity separation.
+func TestLockKey(t *testing.T) {
+	const lsrc = `package p
+type T struct{ mu int }
+func g(a, b *T) {
+	_ = a.mu
+	_ = b.mu
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", lsrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	fd := f.Decls[1].(*ast.FuncDecl)
+	var keys []LockID
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			k, ok := LockKey(info, sel)
+			if !ok {
+				t.Fatalf("LockKey failed on %v", sel)
+			}
+			keys = append(keys, k)
+			return false
+		}
+		return true
+	})
+	if len(keys) != 2 {
+		t.Fatalf("got %d keys, want 2", len(keys))
+	}
+	if keys[0] == keys[1] {
+		t.Errorf("a.mu and b.mu resolved to the same LockID %v", keys[0])
+	}
+	if keys[0].Path != ".mu" || keys[1].Path != ".mu" {
+		t.Errorf("paths = %q, %q; want .mu", keys[0].Path, keys[1].Path)
+	}
+}

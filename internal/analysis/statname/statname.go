@@ -28,6 +28,7 @@ import (
 	"golang.org/x/tools/go/analysis"
 
 	"fleaflicker/internal/analysis/annotation"
+	"fleaflicker/internal/analysis/scope"
 )
 
 // Analyzer is the statname analysis.
@@ -40,7 +41,7 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) (interface{}, error) {
 	// The stats package owns the canonical name helpers; only its constant
 	// block is policed.
-	inStats := annotation.PkgIn(pass.Pkg, "internal/stats") || pass.Pkg.Name() == "stats"
+	inStats := annotation.PkgIn(pass.Pkg, scope.Stats...) || pass.Pkg.Name() == "stats"
 
 	// Collect package-level Metric*/Gauge* string constants and check their
 	// values are pairwise distinct.

@@ -27,21 +27,12 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 
 	"fleaflicker/internal/analysis/annotation"
+	"fleaflicker/internal/analysis/scope"
 )
 
 // machinePackages are the package-path suffixes holding machine models and
 // their supporting structures — everywhere a nil-by-default *trace.Tracer is
 // carried.
-var machinePackages = []string{
-	"internal/pipeline",
-	"internal/twopass",
-	"internal/runahead",
-	"internal/baseline",
-	"internal/core",
-	"internal/mem",
-	"internal/experiments",
-}
-
 // Analyzer is the traceguard analysis.
 var Analyzer = &analysis.Analyzer{
 	Name:     "traceguard",
@@ -53,7 +44,7 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) (interface{}, error) {
 	marks := annotation.Gather(pass.Fset, pass.Files)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
-	inMachine := annotation.PkgIn(pass.Pkg, machinePackages...)
+	inMachine := annotation.PkgIn(pass.Pkg, scope.Traced...)
 
 	// Names of same-package functions annotated //flea:traceonly.
 	traceOnlyFuncs := make(map[string]bool)

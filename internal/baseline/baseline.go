@@ -153,7 +153,7 @@ func (m *Machine) Run() (*stats.Run, error) {
 			m.fe.Tick(m.now)
 		}
 		m.step()
-		if m.snapEvery > 0 && !m.draining && m.retired >= m.nextSnap {
+		if m.snapshotDue() {
 			m.draining = true
 		}
 		m.now++

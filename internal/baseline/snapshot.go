@@ -29,6 +29,17 @@ func (m *Machine) ConfigureSnapshots(every int64, fn func(*checkpoint.Snapshot))
 	}
 }
 
+// snapshotDue reports whether the machine has crossed its snapshot interval
+// and should begin draining toward a barrier. It runs every cycle of the
+// Run loop, so it must stay allocation-free and inlinable.
+//
+//flea:hotpath
+//flea:inline
+//flea:noescape
+func (m *Machine) snapshotDue() bool {
+	return m.snapEvery > 0 && !m.draining && m.retired >= m.nextSnap
+}
+
 // RestoreSnapshot implements core.Snapshotter. A KindFunctional snapshot
 // fast-forwards the architectural state (registers, memory, PC, retired
 // count) and leaves timing structures cold; a KindMachine snapshot must come
@@ -47,6 +58,7 @@ func (m *Machine) RestoreSnapshot(snap *checkpoint.Snapshot) error {
 	case checkpoint.KindFunctional:
 		// Timing state stays cold; start fetching at the snapshot PC on
 		// cycle 0.
+		//flea:handoff Redirect returns every in-flight group's records to the arena before refetching
 		m.fe.Redirect(snap.PC, -1)
 		return nil
 	case checkpoint.KindMachine:
@@ -61,6 +73,7 @@ func (m *Machine) RestoreSnapshot(snap *checkpoint.Snapshot) error {
 			return err
 		}
 		m.fe.RestoreStream(snap.FeNextID, snap.FeFetchStalls)
+		//flea:handoff Redirect returns every in-flight group's records to the arena before refetching
 		m.fe.Redirect(snap.PC, snap.Cycle)
 		b, ok := snap.Section(scoreboardSection)
 		if !ok {

@@ -51,6 +51,13 @@ func (m *Image) Clone() *Image {
 	return c
 }
 
+// page returns the backing array for addr's page. With create set it is the
+// copy-on-write fault path: a page still shared with a snapshot is copied
+// (or, for a hole, freshly allocated) before the caller writes through the
+// returned pointer. Every store into an Image must reach its page through a
+// call on this path — snapshotalias enforces that.
+//
+//flea:cowfault
 func (m *Image) page(addr uint32, create bool) *[pageSize]byte {
 	if m.pages == nil {
 		if !create {
@@ -90,7 +97,12 @@ func (m *Image) PageBases() []uint32 {
 	return bases
 }
 
-// Byte returns the byte at addr.
+// Byte returns the byte at addr. The masked page index compiles without a
+// bounds check.
+//
+//flea:inline
+//flea:noescape
+//flea:bce
 func (m *Image) Byte(addr uint32) byte {
 	p := m.page(addr, false)
 	if p == nil {
@@ -99,7 +111,12 @@ func (m *Image) Byte(addr uint32) byte {
 	return p[addr&(pageSize-1)]
 }
 
-// SetByte stores b at addr.
+// SetByte stores b at addr. The masked page index compiles without a
+// bounds check.
+//
+//flea:inline
+//flea:noescape
+//flea:bce
 func (m *Image) SetByte(addr uint32, b byte) {
 	m.page(addr, true)[addr&(pageSize-1)] = b
 }

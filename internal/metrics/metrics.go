@@ -36,12 +36,16 @@ type Counter struct {
 // Inc adds one.
 //
 //flea:hotpath
+//flea:inline
+//flea:noescape
 func (c *Counter) Inc() { c.v++ }
 
 // Add adds n (n may be negative only to reverse a speculative count that
 // was squashed; a counter must never go below zero at rest).
 //
 //flea:hotpath
+//flea:inline
+//flea:noescape
 func (c *Counter) Add(n int64) { c.v += n }
 
 // Value returns the current count.
@@ -55,6 +59,8 @@ type Gauge struct {
 // Set replaces the value.
 //
 //flea:hotpath
+//flea:inline
+//flea:noescape
 func (g *Gauge) Set(n int64) { g.v = n }
 
 // Value returns the current value.
@@ -65,41 +71,63 @@ func (g *Gauge) Value() int64 { return g.v }
 // counterpart of Counter: one atomic add per increment instead of one plain
 // store, so it never rides a simulator hot path.
 type SharedCounter struct {
-	v atomic.Int64
+	v atomic.Int64 //flea:atomic
 }
 
 // Inc adds one.
+//
+//flea:inline
+//flea:noescape
 func (c *SharedCounter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//flea:inline
+//flea:noescape
 func (c *SharedCounter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
+//
+//flea:inline
+//flea:noescape
 func (c *SharedCounter) Value() int64 { return c.v.Load() }
 
 // SharedGauge is a point-in-time int64 metric safe for concurrent update
 // (e.g. live queue depth observed by many workers).
 type SharedGauge struct {
-	v atomic.Int64
+	v atomic.Int64 //flea:atomic
 }
 
 // Set replaces the value.
+//
+//flea:inline
+//flea:noescape
 func (g *SharedGauge) Set(n int64) { g.v.Store(n) }
 
 // Add adjusts the value by n (occupancy-style gauges increment on entry and
 // decrement on exit).
+//
+//flea:inline
+//flea:noescape
 func (g *SharedGauge) Add(n int64) { g.v.Add(n) }
 
-// Value returns the current value.
+// Value returns the current value.//
+//
+//flea:inline
+//flea:noescape
 func (g *SharedGauge) Value() int64 { return g.v.Load() }
 
 // Registry holds named counters and gauges.
 type Registry struct {
-	mu             sync.Mutex
-	counters       map[string]*Counter
-	gauges         map[string]*Gauge
+	mu sync.Mutex
+	//flea:guardedby(mu)
+	counters map[string]*Counter
+	//flea:guardedby(mu)
+	gauges map[string]*Gauge
+	//flea:guardedby(mu)
 	sharedCounters map[string]*SharedCounter
-	sharedGauges   map[string]*SharedGauge
+	//flea:guardedby(mu)
+	sharedGauges map[string]*SharedGauge
 }
 
 // NewRegistry returns an empty registry.

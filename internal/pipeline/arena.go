@@ -26,6 +26,7 @@ func NewArena() *Arena { return &Arena{} }
 // Get returns a zeroed DynInst, reusing a recycled record when one is free.
 //
 //flea:hotpath
+//flea:inline
 func (a *Arena) Get() *DynInst {
 	n := len(a.free)
 	//flea:coldpath slab allocation amortizes across the run; steady state reuses the freelist
@@ -45,9 +46,11 @@ func (a *Arena) Get() *DynInst {
 // Put returns one record to the freelist.
 //
 //flea:hotpath
+//flea:inline
 func (a *Arena) Put(d *DynInst) { a.free = append(a.free, d) }
 
 // PutAll returns every record in ds to the freelist.
 //
 //flea:hotpath
+//flea:inline
 func (a *Arena) PutAll(ds []*DynInst) { a.free = append(a.free, ds...) }

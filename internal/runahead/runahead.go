@@ -178,7 +178,7 @@ func (m *Machine) Run() (*stats.Run, error) {
 		} else {
 			m.stepNormal()
 		}
-		if m.snapEvery > 0 && !m.draining && m.retired >= m.nextSnap {
+		if m.snapshotDue() {
 			m.draining = true
 		}
 		m.now++
@@ -231,9 +231,12 @@ func (m *Machine) stepNormal() {
 // enterRunahead checkpoints architectural register state and begins
 // speculative pre-execution. The stall cycles continue to be charged as load
 // stalls (the architectural pipe is still blocked); run-ahead merely warms
-// the caches underneath them.
+// the caches underneath them. As a speculative entry point it must never run
+// while the machine drains toward a snapshot barrier (snapshotprotocol
+// checks every call site for the !draining guard).
 //
 //flea:hotpath
+//flea:specentry
 func (m *Machine) enterRunahead(g *pipeline.Group, until int64) {
 	m.RunaheadEntries++
 	if m.tr.Enabled() {

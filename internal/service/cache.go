@@ -58,9 +58,11 @@ type resultCache struct {
 	// mu guards the map and the LRU. The manager's submitMu additionally
 	// serializes whole submissions, so an acquire/abandon pair cannot be
 	// interleaved with another submission coalescing onto the same entry.
-	mu      sync.Mutex
+	mu sync.Mutex
+	//flea:guardedby(mu)
 	entries map[string]*entry
-	lru     *list.List // completed entries only; front = most recent
+	//flea:guardedby(mu)
+	lru *list.List // completed entries only; front = most recent
 }
 
 func newResultCache(maxEntries int, met *serviceMetrics) *resultCache {

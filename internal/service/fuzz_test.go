@@ -52,10 +52,10 @@ func TestFuzzSpecExpandsIntoChunks(t *testing.T) {
 
 func TestFuzzSpecValidation(t *testing.T) {
 	cases := []JobSpec{
-		{Kind: "fuzz"},                                              // no fuzz payload
-		{Kind: "fuzz", Fuzz: &FuzzSpec{}},                           // zero programs
-		{Kind: "fuzz", Model: "2P", Fuzz: &FuzzSpec{Programs: 10}},  // model on fuzz
-		{Kind: "fuzz", Bench: "art", Fuzz: &FuzzSpec{Programs: 10}}, // bench on fuzz
+		{Kind: "fuzz"},                    // no fuzz payload
+		{Kind: "fuzz", Fuzz: &FuzzSpec{}}, // zero programs
+		{Kind: "fuzz", Model: "2P", Fuzz: &FuzzSpec{Programs: 10}},                 // model on fuzz
+		{Kind: "fuzz", Bench: "art", Fuzz: &FuzzSpec{Programs: 10}},                // bench on fuzz
 		{Kind: "run", Model: "2P", Bench: "179.art", Fuzz: &FuzzSpec{Programs: 1}}, // fuzz on run
 	}
 	for i, spec := range cases {

@@ -71,12 +71,17 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu        sync.Mutex
-	state     JobState
+	mu sync.Mutex
+	//flea:guardedby(mu)
+	state JobState
+	//flea:guardedby(mu)
 	completed int
-	unitErrs  []error
-	finished  time.Time
-	subs      []chan ProgressEvent
+	//flea:guardedby(mu)
+	unitErrs []error
+	//flea:guardedby(mu)
+	finished time.Time
+	//flea:guardedby(mu)
+	subs []chan ProgressEvent
 }
 
 // ID returns the job's identifier.

@@ -23,9 +23,11 @@ type task struct {
 type taskQueue struct {
 	mu       sync.Mutex
 	nonEmpty *sync.Cond
-	items    []*task
-	capacity int
+	//flea:guardedby(mu)
+	items []*task
+	//flea:guardedby(mu)
 	closed   bool
+	capacity int
 	depth    *metrics.SharedGauge
 }
 

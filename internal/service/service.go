@@ -129,12 +129,15 @@ type Manager struct {
 	// batch's cache claims and its all-or-nothing enqueue are atomic with
 	// respect to other submissions.
 	submitMu sync.Mutex
-	draining bool
+	draining bool //flea:guardedby(submitMu)
 
-	mu       sync.Mutex // guards jobs / jobOrder / nextID
-	jobs     map[string]*Job
+	mu sync.Mutex // guards jobs / jobOrder / nextID
+	//flea:guardedby(mu)
+	jobs map[string]*Job
+	//flea:guardedby(mu)
 	jobOrder []string
-	nextID   uint64
+	//flea:guardedby(mu)
+	nextID uint64
 }
 
 // New builds a manager and starts its worker pool.
@@ -143,9 +146,9 @@ func New(cfg Config, opts ...Option) *Manager {
 	reg := metrics.NewRegistry()
 	met := newServiceMetrics(reg)
 	m := &Manager{
-		cfg:     cfg,
-		reg:     reg,
-		met:     met,
+		cfg:        cfg,
+		reg:        reg,
+		met:        met,
 		cache:      newResultCache(cfg.CacheEntries, met),
 		queue:      newTaskQueue(cfg.QueueDepth, met.queueDepth),
 		runner:     defaultRunner,
@@ -272,6 +275,8 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 
 // forgetOldJobsLocked drops the oldest finished job records beyond MaxJobs.
 // Active jobs are never dropped. Caller holds m.mu.
+//
+//flea:locked(mu)
 func (m *Manager) forgetOldJobsLocked() {
 	for len(m.jobOrder) > m.cfg.MaxJobs {
 		dropped := false
@@ -362,9 +367,13 @@ func (m *Manager) collect(job *Job) {
 	close(job.done)
 }
 
-// worker executes queued units until the queue closes and drains.
+// worker executes queued units until the queue closes and drains. The loop
+// needs no context poll of its own: get blocks on the queue's condition
+// variable and returns false once the queue is closed and drained, and the
+// simulations themselves run under each task's per-job context.
 func (m *Manager) worker() {
 	defer m.workerWG.Done()
+	//flea:bounded closed-queue handshake: get returns false after close+drain
 	for {
 		t, ok := m.queue.get()
 		if !ok {

@@ -345,7 +345,7 @@ func (m *Machine) Run() (*stats.Run, error) {
 		m.stepA()
 		m.stepB()
 		m.col.CQOccupancy(m.cqCount)
-		if m.snapEvery > 0 && !m.draining && m.retired >= m.nextSnap {
+		if m.snapshotDue() {
 			m.draining = true
 		}
 		m.now++
