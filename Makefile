@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint gcassert build test race bench bench-json bench-smoke ckpt-smoke race-service fuzz-smoke fuzz
+.PHONY: ci vet lint gcassert build test race bench bench-json bench-smoke ckpt-smoke race-service fuzz-smoke fuzz cluster-smoke
 
-ci: vet lint gcassert build race bench-smoke ckpt-smoke fuzz-smoke
+ci: vet lint gcassert build race bench-smoke ckpt-smoke fuzz-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -76,6 +76,19 @@ ckpt-smoke:
 # same seed, same verdict — and sized to finish well under 30 seconds.
 fuzz-smoke:
 	$(GO) run ./cmd/fleafuzz -smoke -programs 2000 -seed 1 -quiet
+
+# cluster-smoke is the distributed-tier gate, run under the race detector:
+# three in-process fleasimd backends behind a consistent-hash coordinator
+# shard a 2000-program differential fuzz campaign (zero divergences, every
+# backend executes chunks), a retuned second coordinator must serve the full
+# re-run from federated caches (nonzero peer hits, zero fresh simulations),
+# killing a backend mid-campaign must re-route its chunks with zero errors,
+# and the capacity model must show >= 1.5x speedup of three backends over
+# one.
+cluster-smoke:
+	FLEA_CLUSTER_PROGRAMS=2000 $(GO) test -race -count=1 \
+		-run='^(TestClusterSmokeCampaign|TestClusterKillBackendMidCampaign|TestClusterSpeedup|TestClusterStealVsComplete|TestClusterBackendDiesMidJob)$$' \
+		./internal/cluster/
 
 # fuzz is the long-form campaign used nightly: the full config lattice
 # (CQ sizes x feedback latencies x regroup on/off), shrunk reproducers

@@ -197,6 +197,10 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		rep.Cluster, err = experiments.ClusterBench(2000, 50)
+		if err != nil {
+			return err
+		}
 		path, err := experiments.WriteBenchReport(rep, *jsonDir, revision())
 		if err != nil {
 			return err

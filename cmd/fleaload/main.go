@@ -153,13 +153,12 @@ func oneJob(addr string, spec service.JobSpec, c *counters) error {
 				return fmt.Errorf("decoding ack: %w", err)
 			}
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-			io.Copy(io.Discard, resp.Body)
+			d := retryAfter(resp)
 			resp.Body.Close()
 			c.backpress.Add(1)
 			if attempt >= maxRetries {
 				return fmt.Errorf("still backpressured after %d retries", attempt)
 			}
-			d := retryAfter(resp)
 			time.Sleep(d)
 			continue
 		default:
@@ -202,11 +201,19 @@ func oneJob(addr string, spec service.JobSpec, c *counters) error {
 	}
 }
 
-// retryAfter parses the Retry-After hint, defaulting to a short pause; the
-// wait is capped so a load test never sleeps the full server hint.
+// retryAfter parses the server's retry hint — the machine-readable
+// retryAfterSeconds field of the JSON error body first, the Retry-After
+// header as a fallback — defaulting to a short pause; the wait is capped so
+// a load test never sleeps the full server hint. It consumes resp.Body.
 func retryAfter(resp *http.Response) time.Duration {
 	d := 50 * time.Millisecond
-	if h := resp.Header.Get("Retry-After"); h != "" {
+	var body struct {
+		RetryAfter int `json:"retryAfterSeconds"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if err := json.Unmarshal(raw, &body); err == nil && body.RetryAfter > 0 {
+		d = time.Duration(body.RetryAfter) * time.Second
+	} else if h := resp.Header.Get("Retry-After"); h != "" {
 		var secs int
 		if _, err := fmt.Sscanf(h, "%d", &secs); err == nil && secs > 0 {
 			d = time.Duration(secs) * time.Second
@@ -257,6 +264,50 @@ func report(addr string, c *counters, clients int, elapsed time.Duration) {
 	}
 	fmt.Printf("  server cache: %d hits, %d coalesced, %d misses (%.1f%% served without a fresh run)\n",
 		hits, coalesced, misses, rate)
+	reportCluster(addr)
+}
+
+// reportCluster prints the per-backend breakdown when the target is a
+// coordinator. A plain backend has no /clusterz, so any failure (404,
+// refused, bad body) just skips the section.
+func reportCluster(addr string) {
+	resp, err := http.Get(addr + "/clusterz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var cz struct {
+		Backends []struct {
+			ID                string `json:"id"`
+			Up                bool   `json:"up"`
+			Executed          int64  `json:"executed"`
+			Stolen            int64  `json:"stolen"`
+			CacheHitsPermille int64  `json:"cache_hit_ratio_permille"`
+		} `json:"backends"`
+		Coordinator map[string]int64 `json:"coordinator"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cz); err != nil {
+		return
+	}
+	fmt.Printf("  cluster: %d backends, %d routed, %d stolen, %d rerouted, %d peer hits, %d dup drops\n",
+		len(cz.Backends),
+		cz.Coordinator["cluster.units.routed"],
+		cz.Coordinator["cluster.units.stolen"],
+		cz.Coordinator["cluster.units.rerouted"],
+		cz.Coordinator["cluster.federation.peer_hits"],
+		cz.Coordinator["cluster.federation.duplicate_drops"])
+	for _, b := range cz.Backends {
+		state := "up"
+		if !b.Up {
+			state = "down"
+		}
+		fmt.Printf("    %-22s %-4s executed %-5d stolen %-4d cache %.1f%%\n",
+			b.ID, state, b.Executed, b.Stolen, float64(b.CacheHitsPermille)/10)
+	}
 }
 
 // scrapeCache pulls the cache counters from the server's /metricsz JSON.

@@ -12,16 +12,30 @@
 //	POST /v1/jobs            submit a run, a server-side-expanded sweep, or
 //	                         a differential fuzzing campaign (kind "fuzz",
 //	                         chunked into one unit per seed range)
+//	POST /v1/units           submit pre-resolved units (coordinator dispatch)
 //	GET  /v1/jobs/{id}       job status and per-unit results
 //	GET  /v1/jobs/{id}/events  SSE progress stream
+//	GET  /v1/cache/{key}     cache-federation peer lookup
 //	GET  /healthz            liveness (503 while draining)
 //	GET  /metricsz           counters, gauges and job-latency quantiles
+//
+// Coordinator mode (-coordinator) serves the same job API but routes units
+// across a set of backend fleasimd daemons by consistent hashing, federates
+// their result caches, health-checks membership and steals queued work from
+// stragglers:
+//
+//	fleasimd -coordinator -backends host1:8080,host2:8080,host3:8080
+//	fleasimd -coordinator -membership members.txt   # one URL per line
+//
+// and additionally exposes GET /clusterz (per-backend routing, stealing and
+// cache breakdown).
 //
 // SIGINT/SIGTERM triggers a graceful drain: intake stops, admitted jobs
 // finish (up to -drain-timeout), then the listener closes.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -30,9 +44,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"fleaflicker/internal/cluster"
 	"fleaflicker/internal/service"
 )
 
@@ -45,27 +61,84 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "default per-job timeout")
 		maxUnits     = flag.Int("max-units", 1024, "maximum units a single sweep may expand to")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown")
+
+		coordinator = flag.Bool("coordinator", false, "serve as a cluster coordinator instead of a backend")
+		backends    = flag.String("backends", "", "coordinator: comma-separated backend URLs")
+		membership  = flag.String("membership", "", "coordinator: file with one backend URL per line (# comments)")
+		replicas    = flag.Int("replicas", 0, "coordinator: virtual nodes per backend on the hash ring (0 = default)")
+		probeEvery  = flag.Duration("probe-interval", time.Second, "coordinator: health-probe interval")
 	)
 	flag.Parse()
-	if err := run(*addr, service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *jobTimeout,
-		MaxUnitsPerJob: *maxUnits,
-	}, *drainTimeout); err != nil {
+
+	var err error
+	if *coordinator {
+		var members []string
+		members, err = membershipList(*backends, *membership)
+		if err == nil {
+			err = runCoordinator(*addr, cluster.Config{
+				Backends:       members,
+				Replicas:       *replicas,
+				QueueDepth:     *queueDepth,
+				MaxUnitsPerJob: *maxUnits,
+				ProbeInterval:  *probeEvery,
+			}, *drainTimeout)
+		}
+	} else {
+		err = run(*addr, service.Config{
+			Workers:        *workers,
+			QueueDepth:     *queueDepth,
+			CacheEntries:   *cacheEntries,
+			DefaultTimeout: *jobTimeout,
+			MaxUnitsPerJob: *maxUnits,
+		}, *drainTimeout)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleasimd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg service.Config, drainTimeout time.Duration) error {
-	m := service.New(cfg)
-	srv := &http.Server{Addr: addr, Handler: service.NewServer(m)}
+// membershipList resolves the coordinator's member set from -backends and/or
+// a -membership file (one URL per line; blank lines and # comments skipped).
+func membershipList(backendsFlag, membershipFile string) ([]string, error) {
+	var members []string
+	for _, b := range strings.Split(backendsFlag, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			members = append(members, b)
+		}
+	}
+	if membershipFile != "" {
+		f, err := os.Open(membershipFile)
+		if err != nil {
+			return nil, fmt.Errorf("membership file: %w", err)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			members = append(members, line)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("membership file: %w", err)
+		}
+	}
+	if len(members) == 0 {
+		return nil, errors.New("coordinator mode needs -backends or -membership")
+	}
+	return members, nil
+}
+
+// serve runs an HTTP handler until SIGINT/SIGTERM, then calls drain while
+// the listener still answers status polls, and finally closes the listener.
+func serve(addr, mode string, handler http.Handler, drain func(context.Context) error, drainTimeout time.Duration) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("fleasimd: serving on %s", addr)
+		log.Printf("fleasimd: serving %s on %s", mode, addr)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -86,7 +159,7 @@ func run(addr string, cfg service.Config, drainTimeout time.Duration) error {
 	// the listener still answers status polls; then close the listener.
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	drainErr := m.Drain(drainCtx)
+	drainErr := drain(drainCtx)
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -97,4 +170,19 @@ func run(addr string, cfg service.Config, drainTimeout time.Duration) error {
 	}
 	log.Printf("fleasimd: drained cleanly")
 	return nil
+}
+
+func run(addr string, cfg service.Config, drainTimeout time.Duration) error {
+	m := service.New(cfg)
+	return serve(addr, "backend", service.NewServer(m), m.Drain, drainTimeout)
+}
+
+func runCoordinator(addr string, cfg cluster.Config, drainTimeout time.Duration) error {
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("fleasimd: coordinating %d backends: %s",
+		len(cfg.Backends), strings.Join(c.Backends(), ", "))
+	return serve(addr, "coordinator", cluster.NewServer(c), c.Drain, drainTimeout)
 }

@@ -36,6 +36,11 @@ var Simulation = []string{
 	// Checkpoints must serialize byte-identically for a given machine state:
 	// snapshot hashes and resumed-run equivalence both depend on it.
 	"internal/checkpoint",
+	// Cluster routing must be deterministic too: every coordinator over the
+	// same membership places every content-addressed key on the same backend
+	// (the property that keeps federated caches warm), and no wall-clock
+	// value may feed placement or steal-victim choice.
+	"internal/cluster",
 }
 
 // Arena packages are those through which pipeline.DynInst ownership flows.
@@ -86,6 +91,7 @@ var Snapshotting = []string{
 var Guarded = []string{
 	"internal/service",
 	"internal/metrics",
+	"internal/cluster",
 }
 
 // Looping packages run unbounded cycle or worker loops that must stay
@@ -99,6 +105,7 @@ var Looping = []string{
 	"internal/service",
 	"internal/diffsim",
 	"internal/experiments",
+	"internal/cluster",
 }
 
 // Exempt records the internal packages deliberately outside every analyzer

@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fleaflicker/internal/service"
+	"fleaflicker/internal/stats"
+)
+
+// fastProbes is the test probe configuration: mark-downs land within ~50ms
+// of a kill instead of seconds.
+func fastProbes(c Config) Config {
+	c.ProbeInterval = 25 * time.Millisecond
+	c.ProbeTimeout = 250 * time.Millisecond
+	c.FailThreshold = 2
+	c.UpThreshold = 2
+	return c
+}
+
+// stubRunner fabricates a deterministic result after an optional pause and
+// counts real executions across all backends.
+func stubRunner(executions *atomic.Int64, pause time.Duration) service.Option {
+	return service.WithRunner(func(ctx context.Context, u service.UnitSpec) (*stats.Run, error) {
+		executions.Add(1)
+		if pause > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(pause):
+			}
+		}
+		return &stats.Run{
+			Benchmark:    u.Bench,
+			Model:        u.ModelName,
+			Cycles:       1000 + int64(u.Config.CQSize),
+			Instructions: 500,
+		}, nil
+	})
+}
+
+// waitClusterDone fails the test when the job does not reach a terminal
+// state soon.
+func waitClusterDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("cluster job %s did not finish; state=%v", j.ID(), j.State())
+	}
+}
+
+// sweepSpec expands to n distinct units (distinct CQ sizes → distinct keys).
+func sweepSpec(n int) service.JobSpec {
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = 16 + i
+	}
+	return service.JobSpec{
+		Kind: "sweep", Model: "2P", Bench: "300.twolf",
+		Sweep: &service.SweepAxes{CQSizes: sizes},
+	}
+}
+
+// TestClusterBackendDownAtSubmit kills one backend before any submission:
+// units whose preferred owner is dead must re-route to the failover backend
+// and every job must still complete.
+func TestClusterBackendDownAtSubmit(t *testing.T) {
+	var executions atomic.Int64
+	l, err := StartLocal(3, service.Config{Workers: 2}, fastProbes(Config{}),
+		stubRunner(&executions, 0))
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer l.Close()
+	l.KillBackend(0)
+
+	job, err := l.Coordinator.Submit(sweepSpec(12))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitClusterDone(t, job)
+	if job.State() != service.JobDone {
+		t.Fatalf("job state = %v, want done (err: %v)", job.State(), job.Err())
+	}
+	st := job.Status()
+	for _, u := range st.Units {
+		if u.State != "done" || u.Result == nil {
+			t.Fatalf("unit %s state=%q, want done with result", u.Key, u.State)
+		}
+	}
+	if got := executions.Load(); got != 12 {
+		t.Fatalf("executions = %d, want 12 (each unit exactly once)", got)
+	}
+}
+
+// TestClusterAllBackendsDown checks the terminal refusal: once the prober
+// has marked every backend down, submissions fail fast with ErrNoBackends.
+func TestClusterAllBackendsDown(t *testing.T) {
+	var executions atomic.Int64
+	l, err := StartLocal(2, service.Config{Workers: 1}, fastProbes(Config{}),
+		stubRunner(&executions, 0))
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer l.Close()
+	l.KillBackend(0)
+	l.KillBackend(1)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for l.Coordinator.LiveBackends() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("backends never marked down; live=%d", l.Coordinator.LiveBackends())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := l.Coordinator.Submit(sweepSpec(4)); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("submit with all backends down: err = %v, want ErrNoBackends", err)
+	}
+}
+
+// TestClusterBackendDiesMidJob holds the first executions open, kills a
+// backend with units in flight, and checks the job still completes with
+// every unit stored exactly once in the federated cache.
+func TestClusterBackendDiesMidJob(t *testing.T) {
+	var executions atomic.Int64
+	l, err := StartLocal(3, service.Config{Workers: 1}, fastProbes(Config{}),
+		stubRunner(&executions, 60*time.Millisecond))
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer l.Close()
+
+	job, err := l.Coordinator.Submit(sweepSpec(18))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	time.Sleep(40 * time.Millisecond) // let units reach all three backends
+	l.KillBackend(1)
+	waitClusterDone(t, job)
+
+	if job.State() != service.JobDone {
+		t.Fatalf("job state = %v, want done (err: %v)", job.State(), job.Err())
+	}
+	met := l.Coordinator.met
+	if met.unitsRerouted.Value() == 0 {
+		t.Fatalf("no units rerouted despite a mid-job kill")
+	}
+	// The duplicate-store invariant: every unit's entry sealed by exactly
+	// one writer; completions of units both executed on the dead backend and
+	// re-run elsewhere are dropped, never stored twice.
+	if done := met.unitsCompleted.Value(); done != 18 {
+		t.Fatalf("units completed = %d, want 18", done)
+	}
+	for _, u := range job.Status().Units {
+		if u.State != "done" || u.Result == nil {
+			t.Fatalf("unit %s state=%q, want done with result", u.Key, u.State)
+		}
+	}
+}
+
+// TestClusterStealVsComplete drives the steal race: single-slot backends
+// with skewed consistent-hash queues force idle backends to steal from the
+// straggler's tail while its own slot pops the head. The pop and the steal
+// share one lock acquisition, so every unit must execute exactly once.
+func TestClusterStealVsComplete(t *testing.T) {
+	var executions atomic.Int64
+	l, err := StartLocal(3, service.Config{Workers: 1}, fastProbes(Config{
+		SlotsPerBackend:   1,
+		DisablePeerLookup: true,
+	}), stubRunner(&executions, 3*time.Millisecond))
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer l.Close()
+
+	const units = 40
+	job, err := l.Coordinator.Submit(sweepSpec(units))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitClusterDone(t, job)
+	if job.State() != service.JobDone {
+		t.Fatalf("job state = %v, want done (err: %v)", job.State(), job.Err())
+	}
+	if got := executions.Load(); got != units {
+		t.Fatalf("executions = %d, want %d (a stolen unit must never run twice)", got, units)
+	}
+	met := l.Coordinator.met
+	if met.unitsStolen.Value() == 0 {
+		t.Fatalf("no steals despite single-slot backends and a %d-unit skewed load", units)
+	}
+	if met.fedDupDrops.Value() != 0 {
+		t.Fatalf("duplicate drops = %d, want 0 (no unit completed twice)", met.fedDupDrops.Value())
+	}
+}
+
+// TestClusterFederationPeerHit seeds a result on a non-owner backend and
+// checks the coordinator finds it through the peer lookup instead of
+// scheduling a fresh simulation on the owner.
+func TestClusterFederationPeerHit(t *testing.T) {
+	var executions atomic.Int64
+	l, err := StartLocal(3, service.Config{Workers: 1}, fastProbes(Config{}),
+		stubRunner(&executions, 0))
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer l.Close()
+
+	spec := service.JobSpec{Model: "2P", Bench: "300.twolf", Seed: 42}
+	units, err := service.ExpandUnits(spec)
+	if err != nil || len(units) != 1 {
+		t.Fatalf("expand: %v (%d units)", err, len(units))
+	}
+	key := units[0].Key()
+	prefs := l.Coordinator.ring.preference(key)
+
+	// Execute the unit directly on the second-preference backend, bypassing
+	// the coordinator — the position a steal or a past membership change
+	// would leave the result in.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	seeder := l.Coordinator.clients[prefs[1]]
+	loc, err := seeder.submitUnit(ctx, units[0].Wire(), 0)
+	if err != nil {
+		t.Fatalf("seeding %s: %v", seeder.id, err)
+	}
+	if _, err := seeder.waitJob(ctx, loc, 2*time.Millisecond); err != nil {
+		t.Fatalf("seed job: %v", err)
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("seed executions = %d, want 1", got)
+	}
+
+	job, err := l.Coordinator.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitClusterDone(t, job)
+	if job.State() != service.JobDone {
+		t.Fatalf("job state = %v, want done (err: %v)", job.State(), job.Err())
+	}
+	met := l.Coordinator.met
+	if met.peerHits.Value() == 0 {
+		t.Fatalf("peer hits = 0, want >0 (result was cached on %s)", seeder.id)
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1 (peer hit must not re-execute)", got)
+	}
+	st := job.Status()
+	if st.Units[0].Result == nil || st.Units[0].Result.Key != key {
+		t.Fatalf("unit result missing or wrong key: %+v", st.Units[0].Result)
+	}
+}
+
+// TestClusterBackpressureRetries fills tiny backend queues and checks the
+// coordinator absorbs 429s with the machine-readable retry hint instead of
+// failing units.
+func TestClusterBackpressureRetries(t *testing.T) {
+	var executions atomic.Int64
+	l, err := StartLocal(2, service.Config{Workers: 1, QueueDepth: 2},
+		fastProbes(Config{SlotsPerBackend: 4, MaxBackoff: 20 * time.Millisecond, DisablePeerLookup: true}),
+		stubRunner(&executions, 5*time.Millisecond))
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer l.Close()
+
+	const units = 24
+	job, err := l.Coordinator.Submit(sweepSpec(units))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitClusterDone(t, job)
+	if job.State() != service.JobDone {
+		t.Fatalf("job state = %v, want done (err: %v)", job.State(), job.Err())
+	}
+	if got := executions.Load(); got != units {
+		t.Fatalf("executions = %d, want %d", got, units)
+	}
+}
+
+// TestClusterDrainRejectsNewJobs checks the drain protocol mirrors the
+// backend tier's: intake stops, admitted work finishes.
+func TestClusterDrainRejectsNewJobs(t *testing.T) {
+	var executions atomic.Int64
+	l, err := StartLocal(2, service.Config{Workers: 1}, fastProbes(Config{}),
+		stubRunner(&executions, 10*time.Millisecond))
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer l.Close()
+
+	job, err := l.Coordinator.Submit(sweepSpec(6))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- l.Coordinator.Drain(context.Background()) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !l.Coordinator.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := l.Coordinator.Submit(sweepSpec(1)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: err = %v, want ErrDraining", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitClusterDone(t, job)
+	if job.State() != service.JobDone {
+		t.Fatalf("admitted job state after drain = %v, want done (err: %v)", job.State(), job.Err())
+	}
+}
+
+// TestClusterStatusWireShape checks a cluster job round-trips through the
+// backend-compatible status JSON fleaload parses.
+func TestClusterStatusWireShape(t *testing.T) {
+	var executions atomic.Int64
+	l, err := StartLocal(2, service.Config{Workers: 1}, fastProbes(Config{}),
+		stubRunner(&executions, 0))
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer l.Close()
+
+	job, err := l.Coordinator.Submit(sweepSpec(3))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitClusterDone(t, job)
+	st := job.Status()
+	if st.State != "done" || st.TotalUnits != 3 || st.CompletedUnits != 3 {
+		t.Fatalf("status = %+v, want done 3/3", st)
+	}
+	for i, u := range st.Units {
+		if u.Key == "" || u.Model != "2P" || u.Bench != "300.twolf" {
+			t.Fatalf("unit %d malformed: %+v", i, u)
+		}
+		if u.Result == nil || u.Result.Run == nil {
+			t.Fatalf("unit %d missing result", i)
+		}
+		want := fmt.Sprintf("cq_size=%d", 16+i)
+		found := false
+		for _, p := range u.Params {
+			if fmt.Sprintf("%s=%v", p.Name, p.Value) == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("unit %d params %v missing %s", i, u.Params, want)
+		}
+	}
+}

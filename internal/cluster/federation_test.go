@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"fleaflicker/internal/metrics"
+	"fleaflicker/internal/service"
+)
+
+func newTestFed() (*fedCache, *clusterMetrics) {
+	met := newClusterMetrics(metrics.NewRegistry())
+	return newFedCache(met), met
+}
+
+// TestFedCacheCoalesces checks N acquisitions of one key yield one claim.
+func TestFedCacheCoalesces(t *testing.T) {
+	f, met := newTestFed()
+	e0, claimed := f.acquire("k")
+	if !claimed {
+		t.Fatalf("first acquire did not claim")
+	}
+	for i := 0; i < 5; i++ {
+		e, claimed := f.acquire("k")
+		if claimed {
+			t.Fatalf("acquire %d claimed an in-flight key", i)
+		}
+		if e != e0 {
+			t.Fatalf("acquire %d returned a different entry", i)
+		}
+	}
+	if got := met.fedCoalesced.Value(); got != 5 {
+		t.Fatalf("coalesced = %d, want 5", got)
+	}
+	f.complete(e0, &service.UnitResult{Key: "k"}, "b0", nil)
+	if _, claimed := f.acquire("k"); claimed {
+		t.Fatalf("acquire after completion claimed; want hit")
+	}
+	if got := met.fedHits.Value(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}
+
+// TestFedCacheFirstWriterWins is the duplicate-store invariant: when a
+// stolen or re-routed unit finishes twice, the first completion seals the
+// entry and the second is dropped and counted — the stored result and
+// origin never change.
+func TestFedCacheFirstWriterWins(t *testing.T) {
+	f, met := newTestFed()
+	e, _ := f.acquire("k")
+
+	resA := &service.UnitResult{Key: "k", DurationMS: 1}
+	resB := &service.UnitResult{Key: "k", DurationMS: 2}
+	var wg sync.WaitGroup
+	wins := make(chan string, 2)
+	for _, w := range []struct {
+		res    *service.UnitResult
+		origin string
+	}{{resA, "b0"}, {resB, "b1"}} {
+		wg.Add(1)
+		go func(res *service.UnitResult, origin string) {
+			defer wg.Done()
+			if f.complete(e, res, origin, nil) {
+				wins <- origin
+			}
+		}(w.res, w.origin)
+	}
+	wg.Wait()
+	close(wins)
+	var winners []string
+	for w := range wins {
+		winners = append(winners, w)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("winners = %v, want exactly one", winners)
+	}
+	if got := met.fedDupDrops.Value(); got != 1 {
+		t.Fatalf("duplicate_drops = %d, want 1", got)
+	}
+	<-e.done
+	if e.origin != winners[0] {
+		t.Fatalf("stored origin %q != winning origin %q", e.origin, winners[0])
+	}
+	if (e.origin == "b0") != (e.result == resA) {
+		t.Fatalf("stored result does not match winning origin %q", e.origin)
+	}
+}
+
+// TestFedCacheErrorRetries checks an error completion removes the entry so
+// a later submission retries the key fresh.
+func TestFedCacheErrorRetries(t *testing.T) {
+	f, _ := newTestFed()
+	e, _ := f.acquire("k")
+	f.complete(e, nil, "", errors.New("backend exploded"))
+	if e.err == nil {
+		t.Fatalf("entry error not recorded")
+	}
+	if _, claimed := f.acquire("k"); !claimed {
+		t.Fatalf("key not reclaimable after error completion")
+	}
+}
+
+// TestFedCacheAbandon checks a rejected submission rolls its claims back.
+func TestFedCacheAbandon(t *testing.T) {
+	f, _ := newTestFed()
+	e, _ := f.acquire("k")
+	f.abandon(e)
+	if !e.completed() {
+		t.Fatalf("abandoned entry not terminal")
+	}
+	if _, claimed := f.acquire("k"); !claimed {
+		t.Fatalf("key not reclaimable after abandon")
+	}
+}

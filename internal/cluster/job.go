@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fleaflicker/internal/service"
+)
+
+// Job is one admitted cluster submission: an ordered set of units resolving
+// against the federated cache and the backend dispatch queues. Its status
+// renders in the same wire shape as a backend job (service.Status), so
+// clients like fleaload drive a coordinator and a single daemon identically.
+//
+// The coordinator deliberately reports no wall-clock fields (Created stays
+// zero): internal/cluster is in the nondeterminism analyzer's scope, and
+// end-to-end latency is the client's measurement anyway.
+type Job struct {
+	id      string
+	units   []service.UnitSpec
+	entries []*fedEntry
+	// cachedAtSubmit marks units resolved without a fresh dispatch on this
+	// job's behalf: federated-cache hits and coalesced in-flight entries.
+	cachedAtSubmit []bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu sync.Mutex
+	//flea:guardedby(mu)
+	state service.JobState
+	//flea:guardedby(mu)
+	completed int
+	//flea:guardedby(mu)
+	unitErrs []error
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() service.JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's joined unit errors once terminal; nil on success.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return errors.Join(j.unitErrs...)
+}
+
+// CachedUnits returns how many units resolved without a fresh dispatch.
+func (j *Job) CachedUnits() int {
+	n := 0
+	for _, c := range j.cachedAtSubmit {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// Status snapshots the job in the backend-compatible wire shape. Unit
+// results appear as their federated entries complete, wherever in the
+// cluster they were computed.
+func (j *Job) Status() service.Status {
+	j.mu.Lock()
+	state := j.state
+	completed := j.completed
+	errText := ""
+	if err := errors.Join(j.unitErrs...); err != nil {
+		errText = err.Error()
+	}
+	j.mu.Unlock()
+
+	st := service.Status{
+		ID:             j.id,
+		State:          state.String(),
+		TotalUnits:     len(j.units),
+		CompletedUnits: completed,
+		CachedUnits:    j.CachedUnits(),
+		Error:          errText,
+		Units:          make([]service.UnitStatus, len(j.units)),
+	}
+	for i := range j.units {
+		u := &j.units[i]
+		us := service.UnitStatus{
+			Key:    j.entries[i].key,
+			Model:  u.ModelName,
+			Bench:  u.Bench,
+			Params: u.Params,
+			Cached: j.cachedAtSubmit[i],
+			State:  "pending",
+		}
+		e := j.entries[i]
+		if e.completed() {
+			if e.err != nil {
+				us.State = "failed"
+				us.Error = e.err.Error()
+			} else {
+				us.State = "done"
+				us.Result = e.result
+			}
+		}
+		st.Units[i] = us
+	}
+	return st
+}
+
+// collect waits for the job's entries and finalizes the record; it runs as
+// one goroutine per job, started at admission.
+func (c *Coordinator) collect(job *Job) {
+	defer c.jobWG.Done()
+
+	job.mu.Lock()
+	job.state = service.JobRunning
+	job.mu.Unlock()
+
+	finished := make(chan int, len(job.entries))
+	for i := range job.entries {
+		go func(i int) {
+			<-job.entries[i].done
+			finished <- i
+		}(i)
+	}
+	for n := 0; n < len(job.entries); n++ {
+		i := <-finished
+		e := job.entries[i]
+		job.mu.Lock()
+		job.completed++
+		if e.err != nil {
+			job.unitErrs = append(job.unitErrs, fmt.Errorf("%s/%s: %w",
+				job.units[i].Bench, job.units[i].ModelName, e.err))
+		}
+		job.mu.Unlock()
+	}
+
+	job.cancel()
+	job.mu.Lock()
+	if len(job.unitErrs) > 0 {
+		job.state = service.JobFailed
+	} else {
+		job.state = service.JobDone
+	}
+	failed := job.state == service.JobFailed
+	job.mu.Unlock()
+
+	if failed {
+		c.met.jobsFailed.Inc()
+	} else {
+		c.met.jobsCompleted.Inc()
+	}
+	c.met.jobsActive.Add(-1)
+	close(job.done)
+}

@@ -28,6 +28,9 @@ type BenchReport struct {
 	// Benchmarks lists the suite entries aggregated into each model row.
 	Benchmarks []string         `json:"benchmarks"`
 	Models     []ModelPerfStats `json:"models"`
+	// Cluster is the distributed-tier wall-clock entry (single backend vs
+	// three behind the coordinator); nil when the cluster bench was skipped.
+	Cluster *ClusterBenchStats `json:"cluster,omitempty"`
 }
 
 // ModelPerfStats aggregates one model's row of the suite.

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"fleaflicker/internal/cluster"
+	"fleaflicker/internal/service"
+)
+
+// ClusterBenchStats is the distributed-tier entry of BENCH_<rev>.json: the
+// wall-clock time of one sharded smoke fuzz campaign on a single in-process
+// backend versus three, behind the consistent-hash coordinator. The workload
+// is CPU-bound simulation, so the speedup is capacity-limited by HostCPUs —
+// on a single-core host the three-backend figure measures coordination
+// overhead, not parallelism; read the two together.
+type ClusterBenchStats struct {
+	Programs  int `json:"programs"`
+	ChunkSize int `json:"chunk_size"`
+	Chunks    int `json:"chunks"`
+	// HostCPUs is runtime.NumCPU at measurement time: the capacity bound on
+	// any real speedup.
+	HostCPUs     int     `json:"host_cpus"`
+	SingleNodeMS float64 `json:"single_node_ms"`
+	ThreeNodeMS  float64 `json:"three_node_ms"`
+	Speedup      float64 `json:"speedup"`
+	// StolenUnits counts chunks idle backends stole during the three-node
+	// campaign.
+	StolenUnits int64 `json:"stolen_units"`
+}
+
+// ClusterBench runs the same seeded smoke campaign on one backend and on
+// three and reports both wall-clock times.
+func ClusterBench(programs, chunkSize int) (*ClusterBenchStats, error) {
+	spec := service.JobSpec{
+		Kind: "fuzz", Seed: 1,
+		Fuzz: &service.FuzzSpec{Programs: programs, ChunkSize: chunkSize, Smoke: true},
+	}
+	stats := &ClusterBenchStats{
+		Programs:  programs,
+		ChunkSize: chunkSize,
+		Chunks:    (programs + chunkSize - 1) / chunkSize,
+		HostCPUs:  runtime.NumCPU(),
+	}
+	campaign := func(backends int) (time.Duration, int64, error) {
+		l, err := cluster.StartLocal(backends, service.Config{Workers: 1},
+			cluster.Config{DisablePeerLookup: true})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer l.Close()
+		start := time.Now()
+		job, err := l.Coordinator.Submit(spec)
+		if err != nil {
+			return 0, 0, err
+		}
+		<-job.Done()
+		if err := job.Err(); err != nil {
+			return 0, 0, fmt.Errorf("clusterbench: %d-backend campaign: %w", backends, err)
+		}
+		counters, _ := l.Coordinator.Registry().Snapshot()
+		return time.Since(start), counters[cluster.MetricUnitsStolen], nil
+	}
+
+	single, _, err := campaign(1)
+	if err != nil {
+		return nil, err
+	}
+	triple, stolen, err := campaign(3)
+	if err != nil {
+		return nil, err
+	}
+	stats.SingleNodeMS = float64(single) / float64(time.Millisecond)
+	stats.ThreeNodeMS = float64(triple) / float64(time.Millisecond)
+	if triple > 0 {
+		stats.Speedup = float64(single) / float64(triple)
+	}
+	stats.StolenUnits = stolen
+	return stats, nil
+}

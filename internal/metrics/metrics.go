@@ -275,6 +275,18 @@ func (r *Registry) EachGauge(fn func(name string, value int64)) {
 	}
 }
 
+// Snapshot returns the current counters and gauges as fresh maps, both
+// families merged. It exists for aggregation endpoints (a coordinator's
+// /clusterz embeds one snapshot per node) where a point-in-time copy is
+// more convenient than the Each* callbacks.
+func (r *Registry) Snapshot() (counters, gauges map[string]int64) {
+	counters = make(map[string]int64)
+	gauges = make(map[string]int64)
+	r.EachCounter(func(name string, v int64) { counters[name] = v })
+	r.EachGauge(func(name string, v int64) { gauges[name] = v })
+	return counters, gauges
+}
+
 // Dump renders every counter as "name value" lines, sorted — a debugging
 // and golden-test convenience.
 func (r *Registry) Dump() string {

@@ -133,3 +133,24 @@ func TestSharedAndPlainEnumerateTogether(t *testing.T) {
 		t.Errorf("Dump() = %q, want %q", d, want)
 	}
 }
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c.plain").Add(3)
+	r.SharedCounter("c.shared").Add(4)
+	r.Gauge("g.plain").Set(5)
+	r.SharedGauge("g.shared").Set(6)
+
+	counters, gauges := r.Snapshot()
+	if counters["c.plain"] != 3 || counters["c.shared"] != 4 {
+		t.Errorf("counters = %v", counters)
+	}
+	if gauges["g.plain"] != 5 || gauges["g.shared"] != 6 {
+		t.Errorf("gauges = %v", gauges)
+	}
+	// The snapshot is a copy: mutating it must not touch the registry.
+	counters["c.plain"] = 99
+	if v, _ := r.CounterValue("c.plain"); v != 3 {
+		t.Errorf("registry counter mutated through snapshot copy: %d", v)
+	}
+}

@@ -88,13 +88,31 @@ func (c *resultCache) acquire(key string) (e *entry, claimed bool) {
 		} else {
 			c.met.cacheCoalesced.Inc()
 		}
+		c.met.updateHitRatio()
 		return e, false
 	}
 	e = &entry{key: key, done: make(chan struct{})}
 	c.entries[key] = e
 	c.met.cacheMisses.Inc()
+	c.met.updateHitRatio()
 	c.met.cacheEntries.Set(int64(len(c.entries)))
 	return e, true
+}
+
+// peek returns the completed result stored under key without claiming it:
+// the read-only lookup cache federation peers issue before scheduling a
+// fresh simulation. In-flight and failed entries report a miss.
+func (c *resultCache) peek(key string) (*UnitResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.completed() || e.err != nil {
+		return nil, false
+	}
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	return e.result, true
 }
 
 // abandon rolls back a claim whose task could not be enqueued (queue full).

@@ -16,8 +16,10 @@ const maxBodyBytes = 1 << 20
 // Server is the HTTP façade over a Manager:
 //
 //	POST /v1/jobs            submit a run or sweep; 202 with the job id
+//	POST /v1/units           submit pre-resolved units (coordinator dispatch)
 //	GET  /v1/jobs/{id}       status + per-unit stats payload
 //	GET  /v1/jobs/{id}/events  SSE progress stream
+//	GET  /v1/cache/{key}     cache-federation peer lookup by unit key
 //	GET  /healthz            liveness (503 while draining)
 //	GET  /metricsz           metrics registry + job-latency quantiles
 type Server struct {
@@ -29,8 +31,10 @@ type Server struct {
 func NewServer(m *Manager) *Server {
 	s := &Server{m: m, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/units", s.handleSubmitUnits)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	return s
@@ -50,10 +54,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorBody is the uniform error payload.
+// errorBody is the uniform error payload. RetryAfter mirrors the
+// Retry-After header machine-readably, so clients parse one JSON body
+// instead of a header plus a body.
 type errorBody struct {
 	Error      string `json:"error"`
-	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+	RetryAfter int    `json:"retryAfterSeconds,omitempty"`
 }
 
 // submitResponse acknowledges an admitted job.
@@ -79,25 +85,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.m.Submit(spec)
 	if err != nil {
-		var qf *QueueFullError
-		switch {
-		case errors.As(err, &qf):
-			secs := int(qf.RetryAfter.Round(time.Second) / time.Second)
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfter: secs})
-		case errors.Is(err, ErrDraining):
-			w.Header().Set("Retry-After", "5")
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), RetryAfter: 5})
-		case errors.Is(err, ErrInvalidSpec):
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-		default:
-			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
-		}
+		writeSubmitError(w, err)
 		return
 	}
+	writeAck(w, job)
+}
+
+// writeSubmitError maps a Submit/SubmitUnits failure onto the uniform error
+// payload: 429 with retryAfterSeconds for a full queue, 503 while draining,
+// 400 for invalid specs.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var qf *QueueFullError
+	switch {
+	case errors.As(err, &qf):
+		secs := int(qf.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfter: secs})
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), RetryAfter: 5})
+	case errors.Is(err, ErrInvalidSpec):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// writeAck acknowledges an admitted job.
+func writeAck(w http.ResponseWriter, job *Job) {
 	loc := "/v1/jobs/" + job.ID()
 	w.Header().Set("Location", loc)
 	writeJSON(w, http.StatusAccepted, submitResponse{
@@ -108,6 +126,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		TotalUnits:  len(job.units),
 		CachedUnits: job.CachedUnits(),
 	})
+}
+
+// UnitSubmission is the POST /v1/units body: a batch of pre-resolved units,
+// as dispatched by a cluster coordinator.
+type UnitSubmission struct {
+	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+	Units     []WireUnit `json:"units"`
+}
+
+// handleSubmitUnits admits a batch of pre-resolved units.
+//
+//flea:coldpath admission control; never on the simulation hot path.
+func (s *Server) handleSubmitUnits(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var sub UnitSubmission
+	if err := dec.Decode(&sub); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding unit submission: %v", err)})
+		return
+	}
+	units := make([]UnitSpec, len(sub.Units))
+	for i, wu := range sub.Units {
+		u, err := wu.Resolve()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		units[i] = u
+	}
+	job, err := s.m.SubmitUnits(units, sub.TimeoutMS)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	writeAck(w, job)
+}
+
+// handleCacheLookup serves the cache-federation peer lookup: the completed
+// result stored under a unit key, or 404. A coordinator asks here before
+// scheduling a fresh simulation, so a result computed on any node is
+// computed once.
+//
+//flea:coldpath observation only.
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	s.m.met.cachePeerLookups.Inc()
+	res, ok := s.m.CachedResult(r.PathValue("key"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no completed result under that key"})
+		return
+	}
+	s.m.met.cachePeerHits.Inc()
+	writeJSON(w, http.StatusOK, res)
 }
 
 // handleJob reports one job's status and (as units finish) results.

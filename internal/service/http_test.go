@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -450,5 +451,112 @@ func TestJobIDsUnique(t *testing.T) {
 			t.Fatalf("duplicate job id %s", ack.ID)
 		}
 		seen[ack.ID] = true
+	}
+}
+
+// TestHTTPSubmitUnits drives the coordinator dispatch path: pre-resolved
+// units posted to /v1/units run like any job and report under the same
+// status API, and malformed units are refused with 400.
+func TestHTTPSubmitUnits(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	units, err := ExpandUnits(JobSpec{Model: "2P", Bench: "300.twolf", Seed: 5})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	body, _ := json.Marshal(UnitSubmission{Units: []WireUnit{units[0].Wire()}})
+	resp, err := http.Post(ts.URL+"/v1/units", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack submitResponse
+	_ = json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit units: status = %d, want 202", resp.StatusCode)
+	}
+	st := getStatus(t, ts, ack.ID)
+	if st.State != "done" || len(st.Units) != 1 || st.Units[0].Result == nil {
+		t.Fatalf("unit job status = %+v, want done with one result", st)
+	}
+	if st.Units[0].Key != units[0].Key() {
+		t.Fatalf("backend key %s != submitted key %s", st.Units[0].Key, units[0].Key())
+	}
+
+	bad := units[0].Wire()
+	bad.Model = "nonsense"
+	body, _ = json.Marshal(UnitSubmission{Units: []WireUnit{bad}})
+	resp, err = http.Post(ts.URL+"/v1/units", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad unit: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPCacheLookup is the federation peer-lookup contract: 404 before
+// the unit has a completed result, the exact UnitResult afterwards, and
+// both outcomes counted.
+func TestHTTPCacheLookup(t *testing.T) {
+	m, ts := newTestServer(t, Config{Workers: 1})
+
+	units, err := ExpandUnits(JobSpec{Model: "2P", Bench: "300.twolf", Seed: 6})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	key := units[0].Key()
+
+	resp, err := http.Get(ts.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold lookup: status = %d, want 404", resp.StatusCode)
+	}
+
+	_, ack := postJob(t, ts, `{"model":"2P","bench":"300.twolf","seed":6}`)
+	getStatus(t, ts, ack.ID)
+
+	resp, err = http.Get(ts.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res UnitResult
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm lookup: status = %d err = %v, want 200", resp.StatusCode, err)
+	}
+	if res.Key != key || res.Run == nil {
+		t.Fatalf("warm lookup result = %+v, want key %s with run", res, key)
+	}
+	counters, _ := m.Registry().Snapshot()
+	if got := counters[MetricCachePeerLookups]; got != 2 {
+		t.Fatalf("peer lookups = %d, want 2", got)
+	}
+	if got := counters[MetricCachePeerHits]; got != 1 {
+		t.Fatalf("peer hits = %d, want 1", got)
+	}
+}
+
+// TestCacheHitRatioGauge checks the hit-ratio gauge tracks the served-
+// without-fresh-run fraction in permille.
+func TestCacheHitRatioGauge(t *testing.T) {
+	m, ts := newTestServer(t, Config{Workers: 1})
+
+	_, ack := postJob(t, ts, `{"model":"2P","bench":"300.twolf","seed":7}`)
+	getStatus(t, ts, ack.ID)
+	if _, gauges := m.Registry().Snapshot(); gauges[GaugeCacheHitRatio] != 0 {
+		t.Fatalf("hit ratio after one miss = %d permille, want 0", gauges[GaugeCacheHitRatio])
+	}
+	_, ack = postJob(t, ts, `{"model":"2P","bench":"300.twolf","seed":7}`)
+	getStatus(t, ts, ack.ID)
+	if _, gauges := m.Registry().Snapshot(); gauges[GaugeCacheHitRatio] != 500 {
+		t.Fatalf("hit ratio after one miss + one hit = %d permille, want 500", gauges[GaugeCacheHitRatio])
 	}
 }

@@ -16,10 +16,19 @@ const (
 	MetricCacheMisses    = "service.cache.misses"
 	MetricCacheCoalesced = "service.cache.coalesced"
 	MetricCacheEvictions = "service.cache.evictions"
-	GaugeQueueDepth      = "service.queue.depth"
-	GaugeWorkersBusy     = "service.workers.busy"
-	GaugeJobsActive      = "service.jobs.active"
-	GaugeCacheEntries    = "service.cache.entries"
+	// MetricCachePeerLookups / MetricCachePeerHits count GET /v1/cache/{key}
+	// federation probes served by this backend (hits = a result another node
+	// did not have to recompute).
+	MetricCachePeerLookups = "service.cache.peer_lookups"
+	MetricCachePeerHits    = "service.cache.peer_hits"
+	GaugeQueueDepth        = "service.queue.depth"
+	GaugeWorkersBusy       = "service.workers.busy"
+	GaugeJobsActive        = "service.jobs.active"
+	GaugeCacheEntries      = "service.cache.entries"
+	// GaugeCacheHitRatio is the served-without-fresh-run ratio, in permille
+	// ((hits+coalesced)*1000 / lookups), kept current on every cache acquire
+	// so /metricsz and /clusterz read it without scraping logs.
+	GaugeCacheHitRatio = "service.cache.hit_ratio_permille"
 )
 
 // Derived latency metric names rendered by /metricsz (quantiles over the
@@ -44,32 +53,48 @@ type serviceMetrics struct {
 	unitsExecuted *metrics.SharedCounter
 	unitErrors    *metrics.SharedCounter
 
-	cacheHits      *metrics.SharedCounter
-	cacheMisses    *metrics.SharedCounter
-	cacheCoalesced *metrics.SharedCounter
-	cacheEvictions *metrics.SharedCounter
+	cacheHits        *metrics.SharedCounter
+	cacheMisses      *metrics.SharedCounter
+	cacheCoalesced   *metrics.SharedCounter
+	cacheEvictions   *metrics.SharedCounter
+	cachePeerLookups *metrics.SharedCounter
+	cachePeerHits    *metrics.SharedCounter
 
-	queueDepth   *metrics.SharedGauge
-	workersBusy  *metrics.SharedGauge
-	jobsActive   *metrics.SharedGauge
-	cacheEntries *metrics.SharedGauge
+	queueDepth    *metrics.SharedGauge
+	workersBusy   *metrics.SharedGauge
+	jobsActive    *metrics.SharedGauge
+	cacheEntries  *metrics.SharedGauge
+	cacheHitRatio *metrics.SharedGauge
+}
+
+// updateHitRatio recomputes the permille hit-ratio gauge from the cache
+// counters. Called after every counted cache acquire.
+func (sm *serviceMetrics) updateHitRatio() {
+	served := sm.cacheHits.Value() + sm.cacheCoalesced.Value()
+	total := served + sm.cacheMisses.Value()
+	if total > 0 {
+		sm.cacheHitRatio.Set(served * 1000 / total)
+	}
 }
 
 func newServiceMetrics(reg *metrics.Registry) *serviceMetrics {
 	return &serviceMetrics{
-		jobsSubmitted:  reg.SharedCounter(MetricJobsSubmitted),
-		jobsCompleted:  reg.SharedCounter(MetricJobsCompleted),
-		jobsFailed:     reg.SharedCounter(MetricJobsFailed),
-		jobsRejected:   reg.SharedCounter(MetricJobsRejected),
-		unitsExecuted:  reg.SharedCounter(MetricUnitsExecuted),
-		unitErrors:     reg.SharedCounter(MetricUnitErrors),
-		cacheHits:      reg.SharedCounter(MetricCacheHits),
-		cacheMisses:    reg.SharedCounter(MetricCacheMisses),
-		cacheCoalesced: reg.SharedCounter(MetricCacheCoalesced),
-		cacheEvictions: reg.SharedCounter(MetricCacheEvictions),
-		queueDepth:     reg.SharedGauge(GaugeQueueDepth),
-		workersBusy:    reg.SharedGauge(GaugeWorkersBusy),
-		jobsActive:     reg.SharedGauge(GaugeJobsActive),
-		cacheEntries:   reg.SharedGauge(GaugeCacheEntries),
+		jobsSubmitted:    reg.SharedCounter(MetricJobsSubmitted),
+		jobsCompleted:    reg.SharedCounter(MetricJobsCompleted),
+		jobsFailed:       reg.SharedCounter(MetricJobsFailed),
+		jobsRejected:     reg.SharedCounter(MetricJobsRejected),
+		unitsExecuted:    reg.SharedCounter(MetricUnitsExecuted),
+		unitErrors:       reg.SharedCounter(MetricUnitErrors),
+		cacheHits:        reg.SharedCounter(MetricCacheHits),
+		cacheMisses:      reg.SharedCounter(MetricCacheMisses),
+		cacheCoalesced:   reg.SharedCounter(MetricCacheCoalesced),
+		cacheEvictions:   reg.SharedCounter(MetricCacheEvictions),
+		cachePeerLookups: reg.SharedCounter(MetricCachePeerLookups),
+		cachePeerHits:    reg.SharedCounter(MetricCachePeerHits),
+		queueDepth:       reg.SharedGauge(GaugeQueueDepth),
+		workersBusy:      reg.SharedGauge(GaugeWorkersBusy),
+		jobsActive:       reg.SharedGauge(GaugeJobsActive),
+		cacheEntries:     reg.SharedGauge(GaugeCacheEntries),
+		cacheHitRatio:    reg.SharedGauge(GaugeCacheHitRatio),
 	}
 }

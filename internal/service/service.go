@@ -187,6 +187,13 @@ func (m *Manager) Draining() bool {
 // QueueDepth returns the current number of admitted-but-unstarted units.
 func (m *Manager) QueueDepth() int { return m.queue.depthNow() }
 
+// CachedResult returns the completed result stored under key, if any —
+// the cache-federation peer-lookup hook behind GET /v1/cache/{key}. It
+// never claims the key or triggers an execution.
+func (m *Manager) CachedResult(key string) (*UnitResult, bool) {
+	return m.cache.peek(key)
+}
+
 // defaultRunner simulates one unit through the library façade.
 func defaultRunner(ctx context.Context, u UnitSpec) (*stats.Run, error) {
 	b, err := workload.ByName(u.Bench)
@@ -212,13 +219,28 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if len(units) == 0 {
 		return nil, fmt.Errorf("%w: spec expands to zero units", ErrInvalidSpec)
 	}
+	return m.submitUnits(spec, units, spec.TimeoutMS)
+}
+
+// SubmitUnits admits a batch of already-resolved units (the POST /v1/units
+// path a cluster coordinator dispatches over), with the same all-or-nothing
+// admission, caching and coalescing semantics as Submit.
+func (m *Manager) SubmitUnits(units []UnitSpec, timeoutMS int64) (*Job, error) {
+	if len(units) == 0 {
+		return nil, fmt.Errorf("%w: no units", ErrInvalidSpec)
+	}
+	return m.submitUnits(JobSpec{TimeoutMS: timeoutMS}, units, timeoutMS)
+}
+
+// submitUnits is the shared admission tail of Submit and SubmitUnits.
+func (m *Manager) submitUnits(spec JobSpec, units []UnitSpec, timeoutMS int64) (*Job, error) {
 	if len(units) > m.cfg.MaxUnitsPerJob {
 		return nil, fmt.Errorf("%w: %d units exceeds the per-job limit of %d",
 			ErrInvalidSpec, len(units), m.cfg.MaxUnitsPerJob)
 	}
 	timeout := m.cfg.DefaultTimeout
-	if spec.TimeoutMS > 0 {
-		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
 	}
 
 	m.submitMu.Lock()
