@@ -208,10 +208,15 @@ func oneJob(addr string, spec service.JobSpec, c *counters) error {
 func retryAfter(resp *http.Response) time.Duration {
 	d := 50 * time.Millisecond
 	var body struct {
-		RetryAfter int `json:"retryAfterSeconds"`
+		RetryAfter       int `json:"retryAfterSeconds"`
+		RetryAfterLegacy int `json:"retry_after_seconds"`
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	if err := json.Unmarshal(raw, &body); err == nil && body.RetryAfter > 0 {
+	err := json.Unmarshal(raw, &body)
+	if err == nil && body.RetryAfter == 0 {
+		body.RetryAfter = body.RetryAfterLegacy
+	}
+	if err == nil && body.RetryAfter > 0 {
 		d = time.Duration(body.RetryAfter) * time.Second
 	} else if h := resp.Header.Get("Retry-After"); h != "" {
 		var secs int

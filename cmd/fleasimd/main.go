@@ -128,6 +128,20 @@ func membershipList(backendsFlag, membershipFile string) ([]string, error) {
 	if len(members) == 0 {
 		return nil, errors.New("coordinator mode needs -backends or -membership")
 	}
+	// Normalize before the duplicate check: "host:8081", "http://host:8081"
+	// and "http://host:8081/" are one daemon, and combining -backends with
+	// -membership makes accidental repeats easy. A duplicate member would
+	// become a second backend index with identical ring vnode hashes, skewing
+	// placement and double-probing the same daemon.
+	seen := make(map[string]bool, len(members))
+	for i, m := range members {
+		m = cluster.NormalizeBackendURL(m)
+		if seen[m] {
+			return nil, fmt.Errorf("duplicate backend %s in membership", m)
+		}
+		seen[m] = true
+		members[i] = m
+	}
 	return members, nil
 }
 

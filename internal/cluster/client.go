@@ -26,14 +26,23 @@ type backendClient struct {
 // maxErrorBody bounds how much of an error response is read for messages.
 const maxErrorBody = 512
 
+// NormalizeBackendURL canonicalizes a member URL the way backend clients do
+// (default http scheme, no trailing slash), so membership lists can detect
+// duplicates before they become distinct backend indices with identical
+// ring vnode hashes.
+func NormalizeBackendURL(raw string) string {
+	base := strings.TrimRight(strings.TrimSpace(raw), "/")
+	if base != "" && !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return base
+}
+
 // newBackendClient normalizes the URL and sizes the HTTP client. The
 // transport allows enough idle connections that dispatch slots, pollers and
 // the health prober do not fight over sockets.
 func newBackendClient(rawURL string) *backendClient {
-	base := strings.TrimRight(rawURL, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
+	base := NormalizeBackendURL(rawURL)
 	id := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
 	return &backendClient{
 		id:   id,
@@ -67,17 +76,22 @@ func (e *backendError) backpressured() bool {
 }
 
 // decodeError turns a non-2xx response into a backendError, honouring the
-// retryAfterSeconds field of the JSON body and falling back to the
+// retryAfterSeconds field of the JSON body (or its deprecated
+// retry_after_seconds spelling from older backends) and falling back to the
 // Retry-After header.
 func decodeError(resp *http.Response) *backendError {
 	be := &backendError{status: resp.StatusCode}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
 	var body struct {
-		Error      string `json:"error"`
-		RetryAfter int    `json:"retryAfterSeconds"`
+		Error            string `json:"error"`
+		RetryAfter       int    `json:"retryAfterSeconds"`
+		RetryAfterLegacy int    `json:"retry_after_seconds"`
 	}
 	if err := json.Unmarshal(raw, &body); err == nil && body.Error != "" {
 		be.msg = body.Error
+		if body.RetryAfter == 0 {
+			body.RetryAfter = body.RetryAfterLegacy
+		}
 		if body.RetryAfter > 0 {
 			be.retryAfter = time.Duration(body.RetryAfter) * time.Second
 		}

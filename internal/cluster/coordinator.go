@@ -62,6 +62,11 @@ type Config struct {
 	PollInterval time.Duration
 	// MaxBackoff caps one 429/503 pause (default 200ms).
 	MaxBackoff time.Duration
+	// MaxBackoffsPerUnit caps how many backpressure pauses one unit absorbs
+	// before it fails with a queue-full error (default 100 — with MaxBackoff
+	// at its default, a persistently full backend stalls a unit at most ~20s
+	// instead of requeueing it forever).
+	MaxBackoffsPerUnit int
 	// PeerLookup disables the federation peer probe when false is forced;
 	// the default (nil-like zero value) enables it.
 	DisablePeerLookup bool
@@ -100,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBackoff <= 0 {
 		c.MaxBackoff = 200 * time.Millisecond
+	}
+	if c.MaxBackoffsPerUnit <= 0 {
+		c.MaxBackoffsPerUnit = 100
 	}
 	return c
 }
@@ -326,8 +334,8 @@ func (c *Coordinator) dispatchSlot(b int) {
 // then submit + poll, with backpressure backoff and failure re-routing.
 func (c *Coordinator) execute(b int, t *unitTask) {
 	ctx := t.job.ctx
-	completed := false
-	defer func() { c.sched.taskDone(b, completed) }()
+	outcome := taskAbandoned
+	defer func() { c.sched.taskDone(b, outcome) }()
 
 	if ctx.Err() != nil {
 		c.failTask(t, ctx.Err())
@@ -348,7 +356,7 @@ func (c *Coordinator) execute(b int, t *unitTask) {
 				if c.fed.complete(t.entry, res, "peer:"+c.clients[p].id, nil) {
 					c.met.unitsCompleted.Inc()
 				}
-				completed = true
+				outcome = taskPeerServed
 				return
 			}
 		}
@@ -377,7 +385,7 @@ func (c *Coordinator) execute(b int, t *unitTask) {
 	if c.fed.complete(t.entry, st.Units[0].Result, c.clients[b].id, nil) {
 		c.met.unitsCompleted.Inc()
 	}
-	completed = true
+	outcome = taskExecuted
 }
 
 // retryTask handles a failed attempt: backpressure waits and retries the
@@ -390,6 +398,15 @@ func (c *Coordinator) retryTask(b int, t *unitTask, err error) {
 	}
 	var be *backendError
 	if errors.As(err, &be) && be.backpressured() {
+		// Backpressure retries don't consume the re-route attempt budget, but
+		// they are bounded separately so a persistently full backend fails the
+		// unit (and its job reaches a terminal state) instead of requeueing
+		// forever.
+		t.backoffs++
+		if t.backoffs > c.cfg.MaxBackoffsPerUnit {
+			c.failTask(t, fmt.Errorf("cluster: unit still backpressured after %d retries: %w", t.backoffs-1, err))
+			return
+		}
 		c.met.unitBackoffs.Inc()
 		pause := be.retryAfter
 		if pause <= 0 || pause > c.cfg.MaxBackoff {
@@ -483,8 +500,9 @@ func (c *Coordinator) probe(b int) {
 
 // Drain gracefully shuts the coordinator down: intake stops, queued and
 // in-flight units finish, every job reaches a terminal state. When ctx
-// expires first, remaining work is cancelled and Drain returns ctx.Err
-// after the slots unwind.
+// expires first, remaining work is cancelled — queued units that no slot
+// will ever pop are failed here, so every job still terminates — and Drain
+// returns ctx.Err after the slots unwind.
 func (c *Coordinator) Drain(ctx context.Context) error {
 	c.mu.Lock()
 	c.draining = true
@@ -503,6 +521,18 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	c.baseCancel()
+	// Seal every still-queued task: the cancelled base context makes the
+	// dispatch slots exit without popping them, and an unsealed entry would
+	// block its job's collector — and the <-idle below — forever. In-flight
+	// tasks seal themselves (execute fails fast on a dead ctx), and after
+	// stop() no requeue path can put a task back.
+	cause := err
+	if cause == nil {
+		cause = ErrDraining // unreachable: idle closed, so no task is queued
+	}
+	for _, t := range c.sched.stop() {
+		c.failTask(t, cause)
+	}
 	<-idle
 	c.slotWG.Wait()
 	c.probeWG.Wait()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -255,6 +256,27 @@ func TestClusterFederationPeerHit(t *testing.T) {
 	if st.Units[0].Result == nil || st.Units[0].Result.Key != key {
 		t.Fatalf("unit result missing or wrong key: %+v", st.Units[0].Result)
 	}
+	// The per-backend accounting must not book the peer hit as a simulation:
+	// executed[] counts real runs only, peer_served[] the federation serves.
+	// taskDone runs on the slot after the entry seals, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var simulated, served int64
+		for _, b := range l.Coordinator.sched.snapshot() {
+			simulated += b.Executed
+			served += b.PeerServed
+		}
+		if simulated != 0 {
+			t.Fatalf("snapshot executed = %d, want 0 (peer hit booked as a simulation)", simulated)
+		}
+		if served == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot peer_served = %d, want 1", served)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // TestClusterBackpressureRetries fills tiny backend queues and checks the
@@ -358,5 +380,81 @@ func TestClusterStatusWireShape(t *testing.T) {
 		if !found {
 			t.Fatalf("unit %d params %v missing %s", i, u.Params, want)
 		}
+	}
+}
+
+// TestClusterDrainTimeoutSealsQueuedUnits expires the drain deadline while
+// units are still queued coordinator-side: Drain must fail them — sealing
+// their federated entries so every job's collector finishes — and return
+// ctx.Err instead of deadlocking on <-idle forever.
+func TestClusterDrainTimeoutSealsQueuedUnits(t *testing.T) {
+	var executions atomic.Int64
+	l, err := StartLocal(1, service.Config{Workers: 1},
+		fastProbes(Config{SlotsPerBackend: 1}),
+		stubRunner(&executions, time.Second))
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer l.Close()
+
+	// One slot, one worker, 1s per unit: at the 100ms drain deadline one
+	// unit is in flight and the rest are still queued coordinator-side.
+	job, err := l.Coordinator.Submit(sweepSpec(6))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- l.Coordinator.Drain(ctx) }()
+	select {
+	case err := <-drained:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("drain err = %v, want deadline exceeded", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("Drain deadlocked past its deadline")
+	}
+	waitClusterDone(t, job)
+	if job.State() != service.JobFailed {
+		t.Fatalf("job state after timed-out drain = %v, want failed", job.State())
+	}
+	if err := job.Err(); err == nil || !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("job err = %v, want a cancellation", err)
+	}
+}
+
+// TestClusterBackpressureCapFailsUnit bounds the 429 retry loop: against a
+// persistently full backend a unit must fail — its job reaching a terminal
+// state — instead of requeueing forever.
+func TestClusterBackpressureCapFailsUnit(t *testing.T) {
+	var executions atomic.Int64
+	l, err := StartLocal(1, service.Config{Workers: 1, QueueDepth: 1},
+		fastProbes(Config{
+			SlotsPerBackend:    4,
+			MaxBackoff:         5 * time.Millisecond,
+			MaxBackoffsPerUnit: 2,
+			DisablePeerLookup:  true,
+		}),
+		stubRunner(&executions, 50*time.Millisecond))
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer l.Close()
+
+	// 12 units against a 1-deep, 50ms-per-unit backend: a 2-backoff budget
+	// (~10ms) cannot outlast the ~600ms of queued work, so some units must
+	// exhaust their retries.
+	job, err := l.Coordinator.Submit(sweepSpec(12))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitClusterDone(t, job)
+	if job.State() != service.JobFailed {
+		t.Fatalf("job state = %v, want failed (backpressure retries must be bounded)", job.State())
+	}
+	if msg := job.Err().Error(); !strings.Contains(msg, "backpressured") {
+		t.Fatalf("job err = %q, want a backpressure-exhausted failure", msg)
 	}
 }

@@ -15,6 +15,7 @@ type unitTask struct {
 	entry     *fedEntry
 	prefs     []int // ring preference (backend indices), owner first
 	attempts  int   // dispatch attempts so far (re-routes increment)
+	backoffs  int   // backpressure (429/503) pauses absorbed so far
 	timeoutMS int64
 	job       *Job // admitting job; its ctx governs execution
 }
@@ -48,12 +49,29 @@ type scheduler struct {
 	//flea:guardedby(mu)
 	queued int // total across queues
 	//flea:guardedby(mu)
-	executed []int64 // units completed per backend
+	executed []int64 // units actually simulated per backend
+	//flea:guardedby(mu)
+	peerServed []int64 // units this backend's slots served from a peer's cache
 	//flea:guardedby(mu)
 	stolen []int64 // units this backend's slots stole from others
 	//flea:guardedby(mu)
-	closed bool
+	closed bool // intake refused; queued tasks still drain
+	//flea:guardedby(mu)
+	stopped bool // dispatch over: next yields nil, requeue refuses
 }
+
+// taskOutcome is how a dispatch slot retired a task, for the per-backend
+// accounting /clusterz reports.
+type taskOutcome int
+
+const (
+	// taskAbandoned: failed, re-routed or requeued — not completed here.
+	taskAbandoned taskOutcome = iota
+	// taskExecuted: simulated on this backend.
+	taskExecuted
+	// taskPeerServed: completed from a federation peer's cache, no simulation.
+	taskPeerServed
+)
 
 func newScheduler(n int, met *clusterMetrics) *scheduler {
 	s := &scheduler{
@@ -65,6 +83,7 @@ func newScheduler(n int, met *clusterMetrics) *scheduler {
 		probeOKs:   make([]int, n),
 		inflight:   make([]int, n),
 		executed:   make([]int64, n),
+		peerServed: make([]int64, n),
 		stolen:     make([]int64, n),
 	}
 	for i := range s.wake {
@@ -140,6 +159,10 @@ func (s *scheduler) tryEnqueueAll(tasks []*unitTask, bound int) bool {
 // no live backend remains.
 func (s *scheduler) requeue(t *unitTask, avoid int) bool {
 	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return false
+	}
 	target := -1
 	for _, b := range t.prefs {
 		if s.up[b] && b != avoid {
@@ -170,6 +193,9 @@ func (s *scheduler) requeue(t *unitTask, avoid int) bool {
 func (s *scheduler) next(b int) *unitTask {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.stopped {
+		return nil
+	}
 	if !s.up[b] {
 		return nil // a down backend's slots park until mark-up
 	}
@@ -213,12 +239,17 @@ func (s *scheduler) taskPoppedLocked(b int) {
 	s.met.inflight.Add(1)
 }
 
-// taskDone retires a task from backend b's in-flight accounting.
-func (s *scheduler) taskDone(b int, completed bool) {
+// taskDone retires a task from backend b's in-flight accounting. Simulated
+// and peer-served completions count separately so /clusterz's executed[]
+// reflects only real simulations on b.
+func (s *scheduler) taskDone(b int, outcome taskOutcome) {
 	s.mu.Lock()
 	s.inflight[b]--
-	if completed {
+	switch outcome {
+	case taskExecuted:
 		s.executed[b]++
+	case taskPeerServed:
+		s.peerServed[b]++
 	}
 	s.mu.Unlock()
 	s.met.inflight.Add(-1)
@@ -285,11 +316,12 @@ func (s *scheduler) snapshot() []BackendStatus {
 	out := make([]BackendStatus, len(s.queues))
 	for i := range s.queues {
 		out[i] = BackendStatus{
-			Up:       s.up[i],
-			Queued:   len(s.queues[i]),
-			Inflight: s.inflight[i],
-			Executed: s.executed[i],
-			Stolen:   s.stolen[i],
+			Up:         s.up[i],
+			Queued:     len(s.queues[i]),
+			Inflight:   s.inflight[i],
+			Executed:   s.executed[i],
+			PeerServed: s.peerServed[i],
+			Stolen:     s.stolen[i],
 		}
 	}
 	return out
@@ -301,4 +333,25 @@ func (s *scheduler) close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.signalAll()
+}
+
+// stop ends dispatch after a cancelled drain: it marks the scheduler stopped
+// — next yields nil and requeue refuses, so every concurrent caller seals
+// its task — and hands back all still-queued tasks so the coordinator can
+// fail them. Without this, a drain deadline would strand queued tasks with
+// unsealed entries and their jobs' collectors would wait forever.
+func (s *scheduler) stop() []*unitTask {
+	s.mu.Lock()
+	s.closed = true
+	s.stopped = true
+	var orphans []*unitTask
+	for i := range s.queues {
+		orphans = append(orphans, s.queues[i]...)
+		s.queues[i] = nil
+	}
+	s.queued = 0
+	s.met.queuedUnits.Set(0)
+	s.mu.Unlock()
+	s.signalAll()
+	return orphans
 }
