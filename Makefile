@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint gcassert build test race bench bench-json bench-smoke ckpt-smoke race-service fuzz-smoke fuzz cluster-smoke
+.PHONY: ci vet lint gcassert build test race bench bench-json bench-smoke ckpt-smoke race-service fuzz-smoke fuzz cluster-smoke flow-smoke
 
-ci: vet lint gcassert build race bench-smoke ckpt-smoke fuzz-smoke cluster-smoke
+ci: vet lint gcassert build race bench-smoke ckpt-smoke fuzz-smoke cluster-smoke flow-smoke
 
 vet:
 	$(GO) vet ./...
@@ -89,6 +89,22 @@ cluster-smoke:
 	FLEA_CLUSTER_PROGRAMS=2000 $(GO) test -race -count=1 \
 		-run='^(TestClusterSmokeCampaign|TestClusterKillBackendMidCampaign|TestClusterSpeedup|TestClusterStealVsComplete|TestClusterBackendDiesMidJob)$$' \
 		./internal/cluster/
+
+# flow-smoke is the orchestration gate: the tiny two-stage smoke pipeline
+# runs twice against a scratch artifact store and the second invocation must
+# be 100% cache hits (zero fresh simulations), then the kill-and-resume
+# property — interrupt a campaign mid-flight, rerun, only unfinished stages
+# execute — is checked under the race detector along with the built-in
+# pipelines' end-to-end tests.
+flow-smoke:
+	$(GO) build -o bin/fleaflow ./cmd/fleaflow
+	rm -rf bin/.flow-smoke-store
+	bin/fleaflow run smoke -store bin/.flow-smoke-store -q
+	bin/fleaflow run smoke -store bin/.flow-smoke-store -q | grep -q '0 ran, 2 cached'
+	rm -rf bin/.flow-smoke-store
+	$(GO) test -race -count=1 \
+		-run='^(TestRunCancelAndResume|TestRunCachesArtifacts|TestSmokePipelineEndToEnd|TestFuzzCampaignSmoke)$$' \
+		./internal/fleaflow/
 
 # fuzz is the long-form campaign used nightly: the full config lattice
 # (CQ sizes x feedback latencies x regroup on/off), shrunk reproducers

@@ -17,20 +17,18 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
-	"net/http"
 	"os"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fleaflicker/internal/service"
+	"fleaflicker/internal/service/client"
 )
 
 // hotSetSize is how many distinct specs the duplicate fraction draws from.
@@ -86,6 +84,7 @@ func run(addr string, clients, requests int, qps, dup float64, bench, model stri
 		gate = t.C
 	}
 
+	cl := client.New(addr)
 	var c counters
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -99,7 +98,7 @@ func run(addr string, clients, requests int, qps, dup float64, bench, model stri
 					<-gate
 				}
 				spec := makeSpec(rng, dup, bench, model, i, r, &c)
-				if err := oneJob(addr, spec, &c); err != nil {
+				if err := oneJob(cl, spec, &c); err != nil {
 					c.errors.Add(1)
 					fmt.Fprintf(os.Stderr, "fleaload: client %d: %v\n", i, err)
 				}
@@ -109,7 +108,7 @@ func run(addr string, clients, requests int, qps, dup float64, bench, model stri
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report(addr, &c, clients, elapsed)
+	report(cl, &c, clients, elapsed)
 	if c.errors.Load() > 0 {
 		return fmt.Errorf("%d request errors", c.errors.Load())
 	}
@@ -127,113 +126,46 @@ func makeSpec(rng *rand.Rand, dup float64, bench, model string, client, req int,
 	return service.JobSpec{Model: model, Bench: bench, Seed: int64(1000 + client*1_000_000 + req)}
 }
 
-// oneJob drives a single closed-loop interaction: submit (with Retry-After
-// backoff), then poll to a terminal state, recording end-to-end latency.
-func oneJob(addr string, spec service.JobSpec, c *counters) error {
-	body, err := json.Marshal(spec)
+// oneJob drives a single closed-loop interaction: submit (absorbing
+// backpressure through the shared client's retry loop, which parses the
+// server's retryAfterSeconds hint new-name-first), then poll to a terminal
+// state, recording end-to-end latency. The pause is capped so a load test
+// never sleeps the full server hint.
+func oneJob(cl *client.Client, spec service.JobSpec, c *counters) error {
+	ctx := context.Background()
+	start := time.Now()
+
+	ack, err := cl.SubmitJobRetry(ctx, spec, client.RetryPolicy{
+		MaxRetries:     maxRetries,
+		MaxWait:        200 * time.Millisecond,
+		OnBackpressure: func(time.Duration) { c.backpress.Add(1) },
+	})
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-
-	var ack struct {
-		ID       string `json:"id"`
-		Location string `json:"location"`
-	}
-	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(addr+"/v1/jobs", "application/json", strings.NewReader(string(body)))
-		if err != nil {
-			return err
-		}
-		switch resp.StatusCode {
-		case http.StatusAccepted:
-			err = json.NewDecoder(resp.Body).Decode(&ack)
-			resp.Body.Close()
-			if err != nil {
-				return fmt.Errorf("decoding ack: %w", err)
-			}
-		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-			d := retryAfter(resp)
-			resp.Body.Close()
-			c.backpress.Add(1)
-			if attempt >= maxRetries {
-				return fmt.Errorf("still backpressured after %d retries", attempt)
-			}
-			time.Sleep(d)
-			continue
-		default:
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			resp.Body.Close()
-			return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, msg)
-		}
-		break
-	}
 	c.submitted.Add(1)
 
-	for {
-		resp, err := http.Get(addr + ack.Location)
-		if err != nil {
-			return err
-		}
-		var st struct {
-			State string `json:"state"`
-			Error string `json:"error"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			return fmt.Errorf("decoding status: %w", err)
-		}
-		switch st.State {
-		case "done":
-			lat := time.Since(start)
-			c.completed.Add(1)
-			c.histogram.Record(lat)
-			c.latenciesM.Lock()
-			c.latencies = append(c.latencies, lat)
-			c.latenciesM.Unlock()
-			return nil
-		case "failed":
-			c.failed.Add(1)
-			return fmt.Errorf("job %s failed: %s", ack.ID, st.Error)
-		}
-		time.Sleep(2 * time.Millisecond)
+	st, err := cl.WaitJob(ctx, ack.Location, 2*time.Millisecond)
+	if err != nil {
+		return err
 	}
-}
-
-// retryAfter parses the server's retry hint — the machine-readable
-// retryAfterSeconds field of the JSON error body first, the Retry-After
-// header as a fallback — defaulting to a short pause; the wait is capped so
-// a load test never sleeps the full server hint. It consumes resp.Body.
-func retryAfter(resp *http.Response) time.Duration {
-	d := 50 * time.Millisecond
-	var body struct {
-		RetryAfter       int `json:"retryAfterSeconds"`
-		RetryAfterLegacy int `json:"retry_after_seconds"`
+	if st.State == "failed" {
+		c.failed.Add(1)
+		return fmt.Errorf("job %s failed: %s", ack.ID, st.Error)
 	}
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	err := json.Unmarshal(raw, &body)
-	if err == nil && body.RetryAfter == 0 {
-		body.RetryAfter = body.RetryAfterLegacy
-	}
-	if err == nil && body.RetryAfter > 0 {
-		d = time.Duration(body.RetryAfter) * time.Second
-	} else if h := resp.Header.Get("Retry-After"); h != "" {
-		var secs int
-		if _, err := fmt.Sscanf(h, "%d", &secs); err == nil && secs > 0 {
-			d = time.Duration(secs) * time.Second
-		}
-	}
-	if d > 200*time.Millisecond {
-		d = 200 * time.Millisecond
-	}
-	return d
+	lat := time.Since(start)
+	c.completed.Add(1)
+	c.histogram.Record(lat)
+	c.latenciesM.Lock()
+	c.latencies = append(c.latencies, lat)
+	c.latenciesM.Unlock()
+	return nil
 }
 
 // report prints the end-of-run summary: throughput, the exact latency
 // quantiles (from the recorded samples, not the bucketed histogram), and
 // the server's cache-hit counters scraped from /metricsz.
-func report(addr string, c *counters, clients int, elapsed time.Duration) {
+func report(cl *client.Client, c *counters, clients int, elapsed time.Duration) {
 	c.latenciesM.Lock()
 	lat := append([]time.Duration(nil), c.latencies...)
 	c.latenciesM.Unlock()
@@ -257,7 +189,7 @@ func report(addr string, c *counters, clients int, elapsed time.Duration) {
 		q(0.99).Round(time.Microsecond), c.histogram.Max().Round(time.Microsecond),
 		c.histogram.Mean().Round(time.Microsecond))
 
-	hits, misses, coalesced, ok := scrapeCache(addr)
+	hits, misses, coalesced, ok := scrapeCache(cl)
 	if !ok {
 		fmt.Printf("  server cache: /metricsz unavailable\n")
 		return
@@ -269,22 +201,13 @@ func report(addr string, c *counters, clients int, elapsed time.Duration) {
 	}
 	fmt.Printf("  server cache: %d hits, %d coalesced, %d misses (%.1f%% served without a fresh run)\n",
 		hits, coalesced, misses, rate)
-	reportCluster(addr)
+	reportCluster(cl)
 }
 
 // reportCluster prints the per-backend breakdown when the target is a
 // coordinator. A plain backend has no /clusterz, so any failure (404,
 // refused, bad body) just skips the section.
-func reportCluster(addr string) {
-	resp, err := http.Get(addr + "/clusterz")
-	if err != nil {
-		return
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return
-	}
+func reportCluster(cl *client.Client) {
 	var cz struct {
 		Backends []struct {
 			ID                string `json:"id"`
@@ -295,7 +218,7 @@ func reportCluster(addr string) {
 		} `json:"backends"`
 		Coordinator map[string]int64 `json:"coordinator"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&cz); err != nil {
+	if err := cl.GetJSON(context.Background(), "/clusterz", &cz); err != nil {
 		return
 	}
 	fmt.Printf("  cluster: %d backends, %d routed, %d stolen, %d rerouted, %d peer hits, %d dup drops\n",
@@ -316,19 +239,12 @@ func reportCluster(addr string) {
 }
 
 // scrapeCache pulls the cache counters from the server's /metricsz JSON.
-func scrapeCache(addr string) (hits, misses, coalesced int64, ok bool) {
-	resp, err := http.Get(addr + "/metricsz?format=json")
+func scrapeCache(cl *client.Client) (hits, misses, coalesced int64, ok bool) {
+	counters, _, err := cl.ScrapeMetrics(context.Background())
 	if err != nil {
 		return 0, 0, 0, false
 	}
-	defer resp.Body.Close()
-	var body struct {
-		Counters map[string]int64 `json:"counters"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return 0, 0, 0, false
-	}
-	return body.Counters[service.MetricCacheHits],
-		body.Counters[service.MetricCacheMisses],
-		body.Counters[service.MetricCacheCoalesced], true
+	return counters[service.MetricCacheHits],
+		counters[service.MetricCacheMisses],
+		counters[service.MetricCacheCoalesced], true
 }

@@ -41,6 +41,11 @@ var Simulation = []string{
 	// (the property that keeps federated caches warm), and no wall-clock
 	// value may feed placement or steal-victim choice.
 	"internal/cluster",
+	// Campaign artifacts are content-addressed: a stage key and the artifact
+	// behind it must be pure functions of (definition, input keys), so the
+	// orchestrator is clock-free and map-iteration-free — revision and
+	// timestamp stamping happens in cmd/fleaflow, outside the scope.
+	"internal/fleaflow",
 }
 
 // Arena packages are those through which pipeline.DynInst ownership flows.
@@ -92,6 +97,10 @@ var Guarded = []string{
 	"internal/service",
 	"internal/metrics",
 	"internal/cluster",
+	// The engine is deliberately lock-free (all scheduling state lives on
+	// the Run goroutine; workers only execute and report over a channel),
+	// and the annotation discipline documents any future departure.
+	"internal/fleaflow",
 }
 
 // Looping packages run unbounded cycle or worker loops that must stay
@@ -106,6 +115,10 @@ var Looping = []string{
 	"internal/diffsim",
 	"internal/experiments",
 	"internal/cluster",
+	// The shared fleasimd client polls job status in an unbounded loop
+	// (WaitJob); the campaign engine's scheduler loop drains workers.
+	"internal/service/client",
+	"internal/fleaflow",
 }
 
 // Exempt records the internal packages deliberately outside every analyzer

@@ -1,220 +1,70 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"fmt"
-	"io"
-	"net/http"
-	"strings"
 	"time"
 
 	"fleaflicker/internal/service"
+	"fleaflicker/internal/service/client"
 )
 
 // backendClient is the coordinator's handle on one fleasimd backend: unit
 // submission, job polling, the cache-federation peer lookup, health probes
-// and a metrics scrape. All calls run under the caller's context; the
+// and a metrics scrape — all delegated to the shared wire client
+// (internal/service/client), which owns the backpressure protocol and the
+// retry-hint parsing. All calls run under the caller's context; the
 // coordinator's retry and re-route policy lives above this layer.
 type backendClient struct {
-	id   string // short display name (host:port)
-	base string // base URL, no trailing slash
-	http *http.Client
+	*client.Client
+	id string // short display name (host:port)
 }
 
-// maxErrorBody bounds how much of an error response is read for messages.
-const maxErrorBody = 512
+// backendError is a non-2xx backend response; the shared client parses the
+// machine-readable retry hint (retryAfterSeconds, its deprecated
+// retry_after_seconds spelling, then the Retry-After header).
+type backendError = client.HTTPError
 
 // NormalizeBackendURL canonicalizes a member URL the way backend clients do
 // (default http scheme, no trailing slash), so membership lists can detect
 // duplicates before they become distinct backend indices with identical
 // ring vnode hashes.
 func NormalizeBackendURL(raw string) string {
-	base := strings.TrimRight(strings.TrimSpace(raw), "/")
-	if base != "" && !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	return base
+	return client.NormalizeBaseURL(raw)
 }
 
-// newBackendClient normalizes the URL and sizes the HTTP client. The
-// transport allows enough idle connections that dispatch slots, pollers and
-// the health prober do not fight over sockets.
+// newBackendClient builds the shared client for one backend URL.
 func newBackendClient(rawURL string) *backendClient {
-	base := NormalizeBackendURL(rawURL)
-	id := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
-	return &backendClient{
-		id:   id,
-		base: base,
-		http: &http.Client{
-			Transport: &http.Transport{
-				MaxIdleConns:        32,
-				MaxIdleConnsPerHost: 32,
-				IdleConnTimeout:     90 * time.Second,
-			},
-		},
-	}
-}
-
-// backendError is a non-2xx response from a backend, carrying the parsed
-// machine-readable retry hint when the backend sent one.
-type backendError struct {
-	status     int
-	msg        string
-	retryAfter time.Duration
-}
-
-func (e *backendError) Error() string {
-	return fmt.Sprintf("backend HTTP %d: %s", e.status, e.msg)
-}
-
-// backpressured reports whether the error is a retry-later response (429
-// queue full / 503 draining) rather than a hard failure.
-func (e *backendError) backpressured() bool {
-	return e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable
-}
-
-// decodeError turns a non-2xx response into a backendError, honouring the
-// retryAfterSeconds field of the JSON body (or its deprecated
-// retry_after_seconds spelling from older backends) and falling back to the
-// Retry-After header.
-func decodeError(resp *http.Response) *backendError {
-	be := &backendError{status: resp.StatusCode}
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
-	var body struct {
-		Error            string `json:"error"`
-		RetryAfter       int    `json:"retryAfterSeconds"`
-		RetryAfterLegacy int    `json:"retry_after_seconds"`
-	}
-	if err := json.Unmarshal(raw, &body); err == nil && body.Error != "" {
-		be.msg = body.Error
-		if body.RetryAfter == 0 {
-			body.RetryAfter = body.RetryAfterLegacy
-		}
-		if body.RetryAfter > 0 {
-			be.retryAfter = time.Duration(body.RetryAfter) * time.Second
-		}
-	} else {
-		be.msg = string(raw)
-	}
-	if be.retryAfter == 0 {
-		var secs int
-		if h := resp.Header.Get("Retry-After"); h != "" {
-			if _, err := fmt.Sscanf(h, "%d", &secs); err == nil && secs > 0 {
-				be.retryAfter = time.Duration(secs) * time.Second
-			}
-		}
-	}
-	return be
-}
-
-// getJSON issues one GET and decodes a 200 response into out.
-func (c *backendClient) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	c := client.New(rawURL)
+	return &backendClient{Client: c, id: c.ID()}
 }
 
 // health probes /healthz. Any 200 is healthy; a draining backend (503)
 // reports an error so the prober marks it down and routing moves on.
 func (c *backendClient) health(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorBody))
-	if resp.StatusCode != http.StatusOK {
-		return &backendError{status: resp.StatusCode, msg: "unhealthy"}
-	}
-	return nil
+	return c.Health(ctx)
 }
 
 // submitUnit posts one resolved unit as a single-unit job and returns the
 // job's status location.
 func (c *backendClient) submitUnit(ctx context.Context, wire service.WireUnit, timeoutMS int64) (string, error) {
-	body, err := json.Marshal(service.UnitSubmission{TimeoutMS: timeoutMS, Units: []service.WireUnit{wire}})
-	if err != nil {
-		return "", err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/units", bytes.NewReader(body))
-	if err != nil {
-		return "", err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return "", decodeError(resp)
-	}
-	var ack struct {
-		Location string `json:"location"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
-		return "", fmt.Errorf("decoding ack: %w", err)
-	}
-	return ack.Location, nil
+	return c.SubmitUnits(ctx, []service.WireUnit{wire}, timeoutMS)
 }
 
 // waitJob polls a job location until it reaches a terminal state, the
 // context ends, or the backend becomes unreachable.
 func (c *backendClient) waitJob(ctx context.Context, location string, poll time.Duration) (*service.Status, error) {
-	ticker := time.NewTicker(poll)
-	defer ticker.Stop()
-	for {
-		var st service.Status
-		if err := c.getJSON(ctx, location, &st); err != nil {
-			return nil, err
-		}
-		if st.State == "done" || st.State == "failed" {
-			return &st, nil
-		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-ticker.C:
-		}
-	}
+	return c.WaitJob(ctx, location, poll)
 }
 
 // cacheLookup asks the backend's result cache for a completed result under
 // key: the federation peer lookup. ok=false covers both a miss and any
 // transport error — a failed lookup only costs a fresh simulation.
 func (c *backendClient) cacheLookup(ctx context.Context, key string) (*service.UnitResult, bool) {
-	var res service.UnitResult
-	if err := c.getJSON(ctx, "/v1/cache/"+key, &res); err != nil {
-		return nil, false
-	}
-	return &res, true
+	return c.CacheLookup(ctx, key)
 }
 
 // scrapeMetrics pulls the backend's /metricsz snapshot (counters and gauges)
 // for the /clusterz aggregation.
 func (c *backendClient) scrapeMetrics(ctx context.Context) (map[string]int64, map[string]int64, error) {
-	var body struct {
-		Counters map[string]int64 `json:"counters"`
-		Gauges   map[string]int64 `json:"gauges"`
-	}
-	if err := c.getJSON(ctx, "/metricsz?format=json", &body); err != nil {
-		return nil, nil, err
-	}
-	return body.Counters, body.Gauges, nil
+	return c.ScrapeMetrics(ctx)
 }

@@ -397,7 +397,7 @@ func (c *Coordinator) retryTask(b int, t *unitTask, err error) {
 		return
 	}
 	var be *backendError
-	if errors.As(err, &be) && be.backpressured() {
+	if errors.As(err, &be) && be.Backpressured() {
 		// Backpressure retries don't consume the re-route attempt budget, but
 		// they are bounded separately so a persistently full backend fails the
 		// unit (and its job reaches a terminal state) instead of requeueing
@@ -408,7 +408,7 @@ func (c *Coordinator) retryTask(b int, t *unitTask, err error) {
 			return
 		}
 		c.met.unitBackoffs.Inc()
-		pause := be.retryAfter
+		pause := be.RetryAfter
 		if pause <= 0 || pause > c.cfg.MaxBackoff {
 			pause = c.cfg.MaxBackoff
 		}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fleaflicker/internal/core"
+)
+
+// TestRunSuiteCheckpointedCancellation interrupts a checkpointed suite
+// mid-flight and then reruns it. The shared per-benchmark reference (the
+// sync.Once cell in runSuite) is function-local state: an aborted call must
+// not leak a half-built checkpoint into a later call, which the second
+// run's full verification would catch as a divergence.
+func TestRunSuiteCheckpointedCancellation(t *testing.T) {
+	benches := fastBenches(t)
+	cfg := core.DefaultConfig()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := RunSuiteCheckpointed(ctx, cfg, core.Models(), benches); err == nil {
+		t.Fatal("expected cancellation error")
+	} else if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+
+	s, err := RunSuiteCheckpointed(context.Background(), cfg, core.Models(), benches)
+	if err != nil {
+		t.Fatalf("rerun after cancellation: %v", err)
+	}
+	for _, bench := range s.Benchmarks {
+		for _, m := range core.Models() {
+			r := s.Get(bench, m)
+			if r == nil {
+				t.Fatalf("missing run %s/%v after resume", bench, m)
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Errorf("%s/%v: %v", bench, m, err)
+			}
+		}
+	}
+}

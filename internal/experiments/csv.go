@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
 	"fleaflicker/internal/mem"
 	"fleaflicker/internal/stats"
@@ -29,6 +30,10 @@ func WriteFig8CSV(points []Fig8Point, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	return writeCSVFile(filepath.Join(dir, "fig8.csv"), fig8Records(points))
+}
+
+func fig8Records(points []Fig8Point) [][]string {
 	recs := [][]string{{"benchmark", "feedback_latency", "deferred", "cycles"}}
 	for _, p := range points {
 		lat := strconv.Itoa(p.Latency)
@@ -41,7 +46,7 @@ func WriteFig8CSV(points []Fig8Point, dir string) error {
 			strconv.FormatInt(p.Cycles, 10),
 		})
 	}
-	return writeCSVFile(filepath.Join(dir, "fig8.csv"), recs)
+	return recs
 }
 
 func fig6Records(s *SuiteRuns) [][]string {
@@ -120,3 +125,22 @@ func writeCSVFile(path string, records [][]string) error {
 	}
 	return f.Close()
 }
+
+// csvString renders records as CSV text, for callers that persist
+// artifacts rather than files (the fleaflow orchestrator).
+func csvString(recs [][]string) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.WriteAll(recs)
+	w.Flush()
+	return b.String()
+}
+
+// Fig6CSV returns the Figure 6 export as CSV text.
+func Fig6CSV(s *SuiteRuns) string { return csvString(fig6Records(s)) }
+
+// Fig7CSV returns the Figure 7 export as CSV text.
+func Fig7CSV(s *SuiteRuns) string { return csvString(fig7Records(s)) }
+
+// Fig8CSV returns a Figure 8 sweep as CSV text.
+func Fig8CSV(points []Fig8Point) string { return csvString(fig8Records(points)) }

@@ -1,0 +1,85 @@
+package fleaflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the pipeline as a Graphviz digraph (stages sorted by name,
+// edges by endpoint pair, so the output is stable under map-free
+// iteration and diffs cleanly).
+func DOT(p *Pipeline) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", p.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	names := make([]string, 0, len(p.Stages))
+	for _, st := range p.Stages {
+		names = append(names, st.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	var edges []string
+	for _, st := range p.Stages {
+		for _, d := range st.Deps {
+			edges = append(edges, fmt.Sprintf("  %q -> %q;", d, st.Name))
+		}
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders the pipeline as an indented dependency listing: one line
+// per stage in topological order, with its direct dependencies, grouped by
+// topological depth (the longest dependency chain above it).
+func ASCII(p *Pipeline) string {
+	order, err := p.TopoOrder()
+	if err != nil {
+		return "fleaflow: " + err.Error() + "\n"
+	}
+	index := make(map[string]*Stage, len(p.Stages))
+	for _, st := range p.Stages {
+		index[st.Name] = st
+	}
+	depth := make(map[string]int, len(order))
+	for _, name := range order {
+		d := 0
+		for _, dep := range index[name].Deps {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[name] = d
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if depth[order[i]] != depth[order[j]] {
+			return depth[order[i]] < depth[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d stages\n", p.Name, len(order))
+	last := -1
+	for _, name := range order {
+		if depth[name] != last {
+			last = depth[name]
+			fmt.Fprintf(&b, "[level %d]\n", last)
+		}
+		st := index[name]
+		if len(st.Deps) == 0 {
+			fmt.Fprintf(&b, "  %s\n", name)
+			continue
+		}
+		deps := append([]string(nil), st.Deps...)
+		sort.Strings(deps)
+		fmt.Fprintf(&b, "  %s  <- %s\n", name, strings.Join(deps, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package fleaflow
+
+import "fleaflicker/internal/metrics"
+
+// Canonical metric names of the orchestration layer, registered in the
+// caller-provided registry (the same registry family the serving layer
+// exposes on /metricsz), so a campaign's progress is observable through
+// the existing metrics plumbing.
+const (
+	// MetricStagesRan counts stages executed fresh (a real Run call that
+	// produced a new artifact).
+	MetricStagesRan = "fleaflow.stages.ran"
+	// MetricStagesCached counts stages satisfied by an existing artifact
+	// without running.
+	MetricStagesCached = "fleaflow.stages.cached"
+	// MetricStagesFailed counts stages whose Run returned an error (or
+	// timed out / was cancelled).
+	MetricStagesFailed = "fleaflow.stages.failed"
+	// MetricStagesParked counts stages skipped because an ancestor failed.
+	MetricStagesParked = "fleaflow.stages.parked"
+	// GaugeStagesInflight is the number of stages currently executing.
+	GaugeStagesInflight = "fleaflow.stages.inflight"
+)
+
+// engineMetrics holds pre-resolved handles into the run's registry; a nil
+// engineMetrics (no registry supplied) makes every observation a no-op.
+type engineMetrics struct {
+	ran      *metrics.Counter
+	cached   *metrics.Counter
+	failed   *metrics.Counter
+	parked   *metrics.Counter
+	inflight *metrics.Gauge
+}
+
+// newEngineMetrics resolves the handles. The scheduler loop is the only
+// goroutine that touches them, so the unsynchronized Counter/Gauge types
+// are sufficient.
+func newEngineMetrics(r *metrics.Registry) *engineMetrics {
+	if r == nil {
+		return nil
+	}
+	return &engineMetrics{
+		ran:      r.Counter(MetricStagesRan),
+		cached:   r.Counter(MetricStagesCached),
+		failed:   r.Counter(MetricStagesFailed),
+		parked:   r.Counter(MetricStagesParked),
+		inflight: r.Gauge(GaugeStagesInflight),
+	}
+}

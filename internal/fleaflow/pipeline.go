@@ -1,0 +1,116 @@
+package fleaflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pipeline is a named campaign graph: a set of stages wired by dependency
+// edges. A pipeline is data — building one runs nothing; Run executes it
+// against a store.
+type Pipeline struct {
+	// Name is the campaign name (the `fleaflow run <name>` argument for
+	// built-ins).
+	Name string
+	// Doc is a one-line description shown by `fleaflow list`.
+	Doc string
+	// Stages holds the graph nodes; declaration order is the tie-break for
+	// scheduling and rendering, so keep it roughly topological for
+	// readability.
+	Stages []*Stage
+}
+
+// Stage returns the named stage, or nil.
+func (p *Pipeline) Stage(name string) *Stage {
+	for _, st := range p.Stages {
+		if st.Name == name {
+			return st
+		}
+	}
+	return nil
+}
+
+// Validate checks the graph is well-formed: non-empty unique stage names,
+// every dependency resolves, no stage depends on itself, and the edges
+// form no cycle.
+func (p *Pipeline) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("fleaflow: pipeline %q has no stages", p.Name)
+	}
+	index := make(map[string]*Stage, len(p.Stages))
+	for _, st := range p.Stages {
+		if st.Name == "" {
+			return fmt.Errorf("fleaflow: pipeline %q has an unnamed stage", p.Name)
+		}
+		if st.Run == nil {
+			return fmt.Errorf("fleaflow: stage %q has no Run function", st.Name)
+		}
+		if _, dup := index[st.Name]; dup {
+			return fmt.Errorf("fleaflow: duplicate stage name %q", st.Name)
+		}
+		index[st.Name] = st
+	}
+	for _, st := range p.Stages {
+		seen := make(map[string]bool, len(st.Deps))
+		for _, d := range st.Deps {
+			if d == st.Name {
+				return fmt.Errorf("fleaflow: stage %q depends on itself", st.Name)
+			}
+			if _, ok := index[d]; !ok {
+				return fmt.Errorf("fleaflow: stage %q depends on unknown stage %q", st.Name, d)
+			}
+			if seen[d] {
+				return fmt.Errorf("fleaflow: stage %q lists dependency %q twice", st.Name, d)
+			}
+			seen[d] = true
+		}
+	}
+	if _, err := p.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the stage names in a deterministic topological order
+// (Kahn's algorithm; ties broken lexicographically), or an error naming
+// the stages on a cycle.
+func (p *Pipeline) TopoOrder() ([]string, error) {
+	waiting := make(map[string]int, len(p.Stages))
+	children := make(map[string][]string, len(p.Stages))
+	for _, st := range p.Stages {
+		waiting[st.Name] = len(st.Deps)
+		for _, d := range st.Deps {
+			children[d] = append(children[d], st.Name)
+		}
+	}
+	var ready []string
+	for _, st := range p.Stages {
+		if len(st.Deps) == 0 {
+			ready = append(ready, st.Name)
+		}
+	}
+	order := make([]string, 0, len(p.Stages))
+	for len(ready) > 0 {
+		sort.Strings(ready)
+		name := ready[0]
+		ready = ready[1:]
+		order = append(order, name)
+		for _, ch := range children[name] {
+			waiting[ch]--
+			if waiting[ch] == 0 {
+				ready = append(ready, ch)
+			}
+		}
+	}
+	if len(order) != len(p.Stages) {
+		var stuck []string
+		for _, st := range p.Stages {
+			if waiting[st.Name] > 0 {
+				stuck = append(stuck, st.Name)
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("fleaflow: dependency cycle through %v", stuck)
+	}
+	return order, nil
+}

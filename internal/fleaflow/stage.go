@@ -1,0 +1,57 @@
+package fleaflow
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Stage is one node of a campaign graph: a typed unit of work whose output
+// is a JSON-serializable artifact. A stage runs when every dependency has
+// produced its artifact; its own artifact key folds in those inputs' keys,
+// so the run is skipped entirely when the store already holds the output
+// of this exact (definition, inputs) combination.
+type Stage struct {
+	// Name identifies the stage within its pipeline; dependency edges and
+	// Inputs lookups use it. Hierarchical names ("suite/181.mcf") are
+	// conventional for fan-out families.
+	Name string
+
+	// Deps names the stages whose artifacts this stage consumes.
+	Deps []string
+
+	// Def is the serializable definition of the work — every parameter
+	// that changes the output must appear here, because it (together with
+	// the input keys) is the artifact address. Def must marshal
+	// deterministically (structs and sorted-key maps do).
+	Def any
+
+	// Timeout, when non-zero, bounds this stage's execution; on expiry the
+	// stage fails (and its downstream parks) without affecting independent
+	// branches.
+	Timeout time.Duration
+
+	// Run computes the stage output from its resolved inputs. The returned
+	// value is JSON-encoded into the artifact store; it must round-trip
+	// through encoding/json. Run executes on a worker goroutine and must
+	// honour ctx.
+	Run func(ctx context.Context, in *Inputs) (any, error)
+}
+
+// Inputs resolves a running stage's dependency artifacts from the store.
+type Inputs struct {
+	store *Store
+	keys  map[string]string // dep stage name -> artifact key
+}
+
+// Key returns the artifact key of a dependency ("" when dep is not one).
+func (in *Inputs) Key(dep string) string { return in.keys[dep] }
+
+// Decode loads the artifact of dependency dep into out.
+func (in *Inputs) Decode(dep string, out any) error {
+	key, ok := in.keys[dep]
+	if !ok {
+		return fmt.Errorf("fleaflow: stage input %q is not a declared dependency", dep)
+	}
+	return in.store.Get(key, out)
+}
